@@ -1,0 +1,64 @@
+"""Ablation: classifier family for Figure 13 (DESIGN.md section 6).
+
+ResNet-1d (flatten head) vs the classic GAP head vs nearest-centroid
+template matching, on the same dataset.
+"""
+
+from benchmarks.conftest import quick_mode
+from repro.experiments.result import ExperimentResult
+from repro.ml import Adam, ResNet1d, Trainer, accuracy
+from repro.side.dataset import SnoopDataset, evaluate_classifier, nearest_centroid
+
+
+def run_classifier_ablation(per_class: int = 30, epochs: int = 12,
+                            seed: int = 0):
+    dataset = SnoopDataset.generate(per_class=per_class, seed=seed)
+    rows = []
+
+    resnet = evaluate_classifier(dataset, epochs=epochs, lr=2e-3, seed=seed)
+    rows.append({"classifier": "resnet1d-flatten",
+                 "test_accuracy": resnet.test_accuracy})
+
+    x_train, y_train, x_test, y_test = dataset.split(seed=seed)
+    gap_model = ResNet1d(
+        in_channels=1, num_classes=dataset.num_classes,
+        input_length=dataset.x.shape[2],
+        stage_channels=(16, 32), blocks_per_stage=1,
+        head="gap", seed=seed,
+    )
+    Trainer(gap_model, Adam(gap_model, lr=2e-3), seed=seed).fit(
+        x_train, y_train, epochs=epochs
+    )
+    rows.append({
+        "classifier": "resnet1d-gap (position-blind head)",
+        "test_accuracy": accuracy(gap_model.predict(x_test), y_test),
+    })
+
+    rows.append({"classifier": "nearest-centroid",
+                 "test_accuracy": nearest_centroid(dataset, seed=seed)})
+    return ExperimentResult(
+        experiment="ablation_classifier",
+        title="Classifier family vs address-recovery accuracy",
+        rows=rows,
+        notes="the task is positional: GAP discards exactly the feature "
+              "that matters",
+    )
+
+
+def test_ablation_classifier(benchmark, report):
+    per_class = 20 if quick_mode() else 30
+    epochs = 8 if quick_mode() else 12
+    result = benchmark.pedantic(
+        run_classifier_ablation,
+        kwargs=dict(per_class=per_class, epochs=epochs),
+        rounds=1, iterations=1,
+    )
+    report(result)
+    by_name = {row["classifier"]: row["test_accuracy"] for row in result.rows}
+    flatten = by_name["resnet1d-flatten"]
+    gap = by_name["resnet1d-gap (position-blind head)"]
+    centroid = by_name["nearest-centroid"]
+    # the position-keeping head must beat the position-blind one
+    assert flatten > gap + 0.1
+    # template matching is a strong baseline on clean traces
+    assert centroid > 0.6

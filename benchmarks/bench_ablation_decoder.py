@@ -1,0 +1,64 @@
+"""Ablation: decoder choice for the ULI channels (DESIGN.md section 6).
+
+The receiver must split window means into two levels without knowing
+the transmitter's calibration.  Candidates: 1-D 2-means, Otsu, and an
+oracle threshold (the midpoint of the true level means — an upper
+bound no blind receiver can use).
+"""
+
+import numpy as np
+
+from repro.analysis.clustering import otsu_threshold, two_means
+from repro.covert import IntraMRChannel, bit_error_rate, detrend, random_bits
+from repro.covert.intra_mr import IntraMRConfig
+from repro.covert.lockstep import window_means
+from repro.experiments.result import ExperimentResult
+from repro.rnic import cx5
+
+
+def run_decoder_ablation(seed: int = 1, payload_bits: int = 160):
+    bits = random_bits(payload_bits, seed=7)
+    channel = IntraMRChannel(cx5(), IntraMRConfig.best_for("CX-5"))
+    samples, start, period = channel.receiver_trace(bits, seed=seed)
+    cfg = channel.config
+    flat = detrend(samples, half_window_ns=cfg.detrend_symbols * period)
+
+    # phase recovery is shared; scan with the oracle for fairness
+    truth = np.asarray(bits, dtype=float)
+    best_shift, best_contrast = 0.0, -np.inf
+    for shift in np.linspace(0.0, 1.5 * period, 31):
+        means = window_means(flat, start + shift, period, len(bits))
+        contrast = means[truth == 1].mean() - means[truth == 0].mean()
+        if contrast > best_contrast:
+            best_contrast, best_shift = contrast, float(shift)
+    means = window_means(flat, start + best_shift, period, len(bits))
+
+    def decode(threshold):
+        return [1 if m > threshold else 0 for m in means]
+
+    _, _, kmeans_threshold = two_means(means)
+    otsu = otsu_threshold(means)
+    oracle = 0.5 * (means[truth == 1].mean() + means[truth == 0].mean())
+    rows = [
+        {"decoder": name, "threshold": thr,
+         "error_rate": bit_error_rate(bits, decode(thr))}
+        for name, thr in (("two-means", kmeans_threshold),
+                          ("otsu", otsu),
+                          ("oracle-midpoint", oracle))
+    ]
+    return ExperimentResult(
+        experiment="ablation_decoder",
+        title="Decoder ablation on the intra-MR channel",
+        rows=rows,
+        notes="blind decoders must approach the oracle bound",
+    )
+
+
+def test_ablation_decoder(benchmark, report):
+    result = benchmark.pedantic(run_decoder_ablation, rounds=1, iterations=1)
+    report(result)
+    by_name = {row["decoder"]: row["error_rate"] for row in result.rows}
+    # both blind decoders land within a few points of the oracle
+    assert by_name["two-means"] <= by_name["oracle-midpoint"] + 0.05
+    assert by_name["otsu"] <= by_name["oracle-midpoint"] + 0.05
+    assert by_name["oracle-midpoint"] < 0.1

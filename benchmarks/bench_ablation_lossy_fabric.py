@@ -1,0 +1,58 @@
+"""Ablation: covert channels on lossy fabrics.
+
+RoCE deployments aim for losslessness, but real fabrics see transient
+loss.  Each retransmission is a ~16 us latency spike in the receiver's
+sample stream — in-band noise the demodulator must ride out.  This
+bench maps channel quality against link loss.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from benchmarks.conftest import quick_mode
+from repro.covert import random_bits
+from repro.covert.inter_mr import InterMRChannel, InterMRConfig
+from repro.experiments.result import ExperimentResult
+from repro.fabric import Link
+from repro.rnic import cx5
+
+
+def run_lossy_ablation(payload_bits: int = 96, seeds=(1, 2)):
+    bits = random_bits(payload_bits, seed=13)
+    rows = []
+    for loss in (0.0, 0.01, 0.05, 0.1):
+        config = dataclasses.replace(
+            InterMRConfig.best_for("CX-5"),
+            endpoint_link=Link(loss_probability=loss) if loss else None,
+        )
+        errors, bws = [], []
+        for seed in seeds:
+            result = InterMRChannel(cx5(), config).transmit(bits, seed=seed)
+            errors.append(result.error_rate)
+            bws.append(result.bandwidth_bps)
+        rows.append({
+            "link_loss": loss,
+            "error_rate": float(np.mean(errors)),
+            "bandwidth_bps": float(np.mean(bws)),
+        })
+    return ExperimentResult(
+        experiment="ablation_lossy_fabric",
+        title="Inter-MR channel vs fabric loss",
+        rows=rows,
+        notes="each retransmission injects a retry-timeout latency "
+              "spike into the receiver's ULI stream",
+    )
+
+
+def test_ablation_lossy_fabric(benchmark, report):
+    seeds = (1,) if quick_mode() else (1, 2)
+    result = benchmark.pedantic(
+        run_lossy_ablation, kwargs=dict(seeds=seeds), rounds=1, iterations=1
+    )
+    report(result)
+    by_loss = {row["link_loss"]: row["error_rate"] for row in result.rows}
+    # the channel tolerates light loss...
+    assert by_loss[0.01] < 0.25
+    # ...and the lossless fabric is never worse than the lossiest
+    assert by_loss[0.0] <= by_loss[0.1] + 0.02

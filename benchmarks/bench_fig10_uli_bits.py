@@ -1,0 +1,12 @@
+"""E-F10: Figure 10 — covert bits visible in folded receiver ULI."""
+
+from repro.experiments.fig9_10_11 import run_fig10
+
+
+def test_fig10_uli_bits(benchmark, report):
+    result = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    report(result)
+    # the folded period's two halves carry the two covert bits
+    assert result.series["contrast"] > 0
+    folded = result.series["folded"]
+    assert len(folded) == 2 * 96

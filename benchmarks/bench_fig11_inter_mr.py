@@ -1,0 +1,12 @@
+"""E-F11: Figure 11 — folded inter-MR channel pattern on CX-4/5/6."""
+
+from repro.experiments.fig9_10_11 import run_fig11
+
+
+def test_fig11_inter_mr(benchmark, report):
+    result = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    report(result)
+    for row in result.rows:
+        # each device's folded, normalized ULI shows two levels
+        assert row["normalized_contrast"] > 0.1, row["rnic"]
+        assert row["bit1_level"] > row["bit0_level"], row["rnic"]

@@ -1,0 +1,15 @@
+"""E-F12: Figure 12 — fingerprinting shuffle/join operations."""
+
+from repro.experiments import fig12
+
+
+def test_fig12_fingerprint(benchmark, report):
+    result = benchmark.pedantic(fig12.run, rounds=1, iterations=1)
+    report(result)
+    # every operator instance in the schedule is identified, including
+    # instances with different durations/round counts than the
+    # calibration run (the paper's robustness claim)
+    assert result.series["detection_rate"] == 1.0
+    assert result.series["false_positives"] == 0
+    names = {row["operator"] for row in result.rows}
+    assert names == {"shuffle", "join"}

@@ -1,0 +1,38 @@
+"""E-F4: Figure 4 — the Grain-I/II priority competition sweep."""
+
+from repro.experiments import fig4
+
+
+def test_fig4_priority_sweep(benchmark, report):
+    result = benchmark.pedantic(fig4.run, rounds=1, iterations=1)
+    report(result)
+
+    # the paper ran "over 6000 parameter combinations"
+    assert result.series["total_combinations"] > 6000
+
+    # Key Findings 1-3 must all hold (Figure 4's outlined boxes)
+    checks = result.series["key_findings"]
+    for name, passed in checks.items():
+        assert passed, name
+
+    # the outcome palette covers all four colors of the figure
+    dominant = {row["dominant"] for row in result.rows}
+    assert "no_drop" in dominant
+    assert any(row["increase"] > 0 for row in result.rows)
+    assert any(row["half"] > 0 for row in result.rows)
+
+    # a terminal rendering of the figure's grid: inducer rows x
+    # indicator columns, one glyph per dominant outcome
+    glyphs = {"no_drop": ".", "slight_drop": "-", "half_drop": "#",
+              "increase": "+"}
+    cells = {(row["inducer"], row["indicator"]): glyphs[row["dominant"]]
+             for row in result.rows}
+    inducers = sorted({k[0] for k in cells})
+    indicators = sorted({k[1] for k in cells})
+    print("\nconceptual priority grid "
+          "(. none  - slight  # half  + increase):")
+    width = max(len(i) for i in inducers)
+    for inducer in inducers:
+        line = "".join(cells.get((inducer, ind), " ") for ind in indicators)
+        print(f"  {inducer:>{width}} | {line}")
+    print(f"  {'':>{width}}   columns: {len(indicators)} indicator classes")

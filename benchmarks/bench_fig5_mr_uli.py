@@ -1,0 +1,20 @@
+"""E-F5: Figure 5 — ULI for same/different MR alternation vs size."""
+
+from benchmarks.conftest import quick_mode
+from repro.experiments import fig5
+
+
+def test_fig5_mr_uli(benchmark, report):
+    samples = 60 if quick_mode() else 150
+    result = benchmark.pedantic(
+        fig5.run, kwargs=dict(samples=samples), rounds=1, iterations=1
+    )
+    report(result)
+    for row in result.rows:
+        # different-MR alternation is always slower (Figure 5's gap)
+        assert row["diff_minus_same_ns"] > 0, row["msg_size"]
+        # percentile bands are well-formed
+        assert row["same_mr_p10"] <= row["same_mr_uli_ns"] <= row["same_mr_p90"]
+    # ULI grows with message size in both series
+    ulis = [row["same_mr_uli_ns"] for row in result.rows]
+    assert ulis == sorted(ulis)

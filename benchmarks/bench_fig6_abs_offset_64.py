@@ -1,0 +1,17 @@
+"""E-F6: Figure 6 — ULI vs absolute offset for 64 B reads on CX-4."""
+
+from benchmarks.conftest import quick_mode
+from repro.experiments.fig6_7_8 import run_fig6
+
+
+def test_fig6_abs_offset_64(benchmark, report):
+    samples = 30 if quick_mode() else 60
+    result = benchmark.pedantic(
+        run_fig6, kwargs=dict(samples=samples), rounds=1, iterations=1
+    )
+    report(result)
+    metrics = result.series["metrics"]
+    # Key Finding 4's three signatures
+    assert metrics["align8_contrast_ns"] > 0        # drops at 8 B alignment
+    assert metrics["align64_extra_drop_ns"] > 0     # deeper drops at 64 B
+    assert metrics["period2048_score"] > 0.5        # 2048 B periodicity

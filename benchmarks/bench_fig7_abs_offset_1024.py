@@ -1,0 +1,23 @@
+"""E-F7: Figure 7 — ULI vs absolute offset for 1024 B reads on CX-4."""
+
+import numpy as np
+
+from benchmarks.conftest import quick_mode
+from repro.analysis import power_of_two_score
+from repro.experiments.fig6_7_8 import run_fig7
+
+
+def test_fig7_abs_offset_1024(benchmark, report):
+    samples = 30 if quick_mode() else 60
+    result = benchmark.pedantic(
+        run_fig7, kwargs=dict(samples=samples), rounds=1, iterations=1
+    )
+    report(result)
+    sweep = result.series["sweep"]
+    # the pattern retains power-of-two periodicity at the larger size
+    beyond = np.asarray(sweep.offsets) >= 2048
+    score = power_of_two_score(sweep.means[beyond], step=64, period=2048)
+    assert score > 0.3
+    # 1024 B reads are slower than 64 B reads overall
+    assert sweep.means.mean() > 0
+    assert sweep.msg_size == 1024

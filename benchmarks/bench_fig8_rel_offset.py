@@ -1,0 +1,17 @@
+"""E-F8: Figure 8 — ULI vs relative offset between consecutive reads."""
+
+from benchmarks.conftest import quick_mode
+from repro.experiments.fig6_7_8 import run_fig8
+
+
+def test_fig8_rel_offset(benchmark, report):
+    samples = 30 if quick_mode() else 60
+    result = benchmark.pedantic(
+        run_fig8, kwargs=dict(samples=samples), rounds=1, iterations=1
+    )
+    report(result)
+    metrics = result.series["metrics"]
+    # back-to-back same-line reads are distinct (delta = 0 spike)
+    assert metrics["same_line_lock_ns"] > 0
+    # crossing the 2 KB descriptor segment costs a refill
+    assert metrics["segment_step_ns"] > 0

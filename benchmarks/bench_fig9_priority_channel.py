@@ -1,0 +1,14 @@
+"""E-F9: Figure 9 — the priority covert channel's bitstream traces."""
+
+from repro.experiments.fig9_10_11 import run_fig9
+
+
+def test_fig9_priority_channel(benchmark, report):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    report(result)
+    for row in result.rows:
+        # the paper's bitstream decodes error-free on every device
+        assert row["error_rate"] == 0.0, row["rnic"]
+        assert row["decoded"] == row["bits"], row["rnic"]
+        # two clearly separated bandwidth levels
+        assert row["level_ratio"] > 1.3, row["rnic"]

@@ -1,0 +1,36 @@
+"""E-MIT: the Section VII mitigation trade-off study."""
+
+from benchmarks.conftest import quick_mode
+from repro.experiments import mitigation
+
+
+def test_mitigation_noise(benchmark, report):
+    bits = 64 if quick_mode() else 128
+    result = benchmark.pedantic(
+        mitigation.run_noise,
+        kwargs=dict(scales=(0.0, 0.25, 0.5, 1.0, 2.0, 4.0), payload_bits=bits),
+        rounds=1, iterations=1,
+    )
+    report(result)
+    rows = result.rows
+    # noise degrades the channel...
+    assert rows[-1]["channel_error"] > rows[0]["channel_error"]
+    assert rows[-1]["effective_bps"] < 0.2 * rows[0]["effective_bps"]
+    # ...but the honest latency bill grows monotonically with the scale
+    overheads = [row["honest_overhead_ns"] for row in rows]
+    assert overheads == sorted(overheads)
+    # sub-microsecond noise leaves detectable traces (partial masking)
+    partial = [r for r in rows if 0 < r["noise_scale"] <= 0.5]
+    assert any(r["channel_error"] < 0.4 for r in partial)
+
+
+def test_mitigation_partition(benchmark, report):
+    result = benchmark.pedantic(mitigation.run_partition, rounds=1, iterations=1)
+    report(result)
+    shared, partitioned = result.rows
+    # partitioning kills the cross-tenant coupling entirely...
+    assert shared["cross_tenant_coupling_ns"] > 100
+    assert abs(partitioned["cross_tenant_coupling_ns"]) < 20
+    # ...at a real throughput cost for honest tenants
+    assert (partitioned["stream_256_reads_ns"]
+            > 1.05 * shared["stream_256_reads_ns"])

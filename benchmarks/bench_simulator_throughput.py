@@ -1,0 +1,74 @@
+"""Performance benchmarks of the simulator itself.
+
+Unlike the experiment benches (rounds=1 regeneration runs), these use
+pytest-benchmark's real timing loops, guarding the substrate against
+performance regressions: event-kernel dispatch, end-to-end message
+throughput, translation-unit admission cost, and trace synthesis.
+"""
+
+import numpy as np
+
+from repro.host import Cluster
+from repro.rnic import TranslationUnit, cx5
+from repro.side.snoop import SnoopConfig, TraceSynthesizer
+from repro.sim import Simulator
+
+
+def test_event_kernel_dispatch(benchmark):
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(10.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_end_to_end_message_throughput(benchmark):
+    def run():
+        cluster = Cluster(seed=0)
+        server = cluster.add_host("server", spec=cx5())
+        client = cluster.add_host("client", spec=cx5())
+        conn = cluster.connect(client, server, max_send_wr=16)
+        mr = server.reg_mr(2 * 1024 * 1024)
+        for _ in range(16):
+            conn.post_read(mr, 0, 64)
+        done = 0
+        while done < 2000:
+            conn.await_completions(1)
+            conn.post_read(mr, (done * 64) % 4096, 64)
+            done += 1
+        return done
+
+    assert benchmark(run) == 2000
+
+
+def test_translation_unit_admission(benchmark):
+    unit = TranslationUnit(cx5(), rng=np.random.default_rng(0))
+
+    def run():
+        now = 0.0
+        for i in range(5000):
+            now, _ = unit.admit(now, "mr", (i * 192) % (1 << 20), 64)
+        return now
+
+    assert benchmark(run) > 0
+
+
+def test_snoop_trace_synthesis(benchmark):
+    synthesizer = TraceSynthesizer(
+        config=SnoopConfig(probes_per_point=5), seed=0
+    )
+
+    def run():
+        return synthesizer.trace(512)
+
+    trace = benchmark(run)
+    assert trace.shape == (257,)

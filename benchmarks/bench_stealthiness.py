@@ -1,0 +1,28 @@
+"""E-STEALTH: quantifying Table I's stealthiness column.
+
+Sweeps detector thresholds against a benign fleet to measure each
+attack's detection margin and the defender's false-positive cost.
+"""
+
+from repro.experiments import stealth
+
+
+def test_stealthiness(benchmark, report):
+    result = benchmark.pedantic(stealth.run, rounds=1, iterations=1)
+    report(result)
+    rows = {row["attack"]: row for row in result.rows}
+
+    # the Grain-II perf attack is cheap to catch
+    assert rows["perf-grain2"]["operational_stealth"] == "low"
+    # Pythia was High-stealth before cache telemetry existed, Low after
+    assert rows["pythia (pre cache-guard)"]["operational_stealth"] == "high"
+    assert rows["pythia (cache-guard era)"]["operational_stealth"] == "low"
+    # Ragnar's fine-grained channels: catching them costs the fleet —
+    # thresholds tight enough to flag them also flag most benign
+    # tenants, which is the operational meaning of "bypasses
+    # Grain-I-to-III counters"
+    for attack in ("ragnar-inter-mr", "ragnar-intra-mr"):
+        grade = rows[attack]["operational_stealth"]
+        assert grade in ("high", "undetectable"), attack
+        fp = rows[attack]["benign_fp_rate"]
+        assert fp is None or fp > 0.5, attack

@@ -1,0 +1,17 @@
+"""E-T1: the Table I attack-vs-defense matrix."""
+
+from repro.experiments import table1
+
+
+def test_table1_defense_matrix(benchmark, report):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    report(result)
+    rows = {row["attack"]: row for row in result.rows}
+
+    # the Grain-II performance attack is caught by HARMONIC
+    assert rows["perf-grain2"]["harmonic"]
+    # Pythia is caught by cache-attack detection
+    assert rows["pythia"]["cache-guard"]
+    # every Ragnar channel bypasses all three deployed defenses
+    for attack in ("ragnar-priority", "ragnar-inter-mr", "ragnar-intra-mr"):
+        assert rows[attack]["undetected"], attack

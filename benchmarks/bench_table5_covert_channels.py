@@ -1,0 +1,33 @@
+"""E-T5: Table V — channel bandwidth / error / effective bandwidth."""
+
+from benchmarks.conftest import quick_mode
+from repro.experiments import table5
+
+
+def test_table5_covert_channels(benchmark, report):
+    bits = 96 if quick_mode() else 256
+    result = benchmark.pedantic(
+        table5.run, kwargs=dict(payload_bits=bits), rounds=1, iterations=1
+    )
+    report(result)
+    by_key = {(r["channel"], r["rnic"]): r for r in result.rows}
+
+    # priority channel: ~1 bps, error-free, on every device
+    for rnic in ("CX-4", "CX-5", "CX-6"):
+        row = by_key[("inter-traffic-class", rnic)]
+        assert row["error_rate"] == 0.0
+        assert 0.5 <= row["bandwidth_bps"] <= 2.0
+
+    # ULI channels: tens-of-Kbps scale, error rates in single digits
+    for channel in ("inter-mr", "intra-mr"):
+        for rnic in ("CX-4", "CX-5", "CX-6"):
+            row = by_key[(channel, rnic)]
+            assert row["bandwidth_bps"] > 20_000, (channel, rnic)
+            assert row["error_rate"] < 0.12, (channel, rnic)
+
+    # Table V orderings: CX-6 fastest on both ULI channels, and the
+    # channels sit orders of magnitude above the priority channel
+    for channel in ("inter-mr", "intra-mr"):
+        assert (by_key[(channel, "CX-6")]["bandwidth_bps"]
+                > by_key[(channel, "CX-5")]["bandwidth_bps"]
+                > by_key[(channel, "CX-4")]["bandwidth_bps"] * 0.999), channel

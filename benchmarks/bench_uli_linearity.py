@@ -1,0 +1,21 @@
+"""E-ULI: the Lat_total = k(len_sq+1) + C fit of footnotes 7-8."""
+
+from benchmarks.conftest import quick_mode
+from repro.experiments import uli_linearity
+
+
+def test_uli_linearity(benchmark, report):
+    samples = 50 if quick_mode() else 100
+    result = benchmark.pedantic(
+        uli_linearity.run, kwargs=dict(samples_per_depth=samples),
+        rounds=1, iterations=1,
+    )
+    report(result)
+    for row in result.rows:
+        # the paper reports Pearson = 0.9998 and negligible C
+        assert row["pearson_r"] > 0.999, row["rnic"]
+        assert row["relative_C"] < 0.05, row["rnic"]
+        assert row["slope_k_ns"] > 0
+    # newer devices have smaller per-WQE service times
+    slopes = {row["rnic"]: row["slope_k_ns"] for row in result.rows}
+    assert slopes["CX-4"] > slopes["CX-5"] > slopes["CX-6"]

@@ -1,0 +1,29 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one paper table/figure (see DESIGN.md's
+per-experiment index), prints it, saves it under ``results/`` and
+asserts the paper's qualitative claims.  Set ``REPRO_QUICK=1`` to run
+reduced workloads (CI mode).
+"""
+
+import os
+
+import pytest
+
+
+def quick_mode() -> bool:
+    return os.environ.get("REPRO_QUICK", "0") == "1"
+
+
+@pytest.fixture
+def report():
+    """Print + persist an ExperimentResult."""
+
+    def _report(result):
+        print()
+        print(result.format_table())
+        path = result.save()
+        print(f"[saved to {path}]")
+        return result
+
+    return _report

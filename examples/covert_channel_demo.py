@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Send a secret message through the RNIC's translation unit.
+
+Runs all three Ragnar covert channels (Section V) end to end on a
+simulated CX-5, transmitting real text.  The sender and receiver are
+two clients of one server that never exchange a single packet with
+each other — the bits travel as contention.
+
+Run:  python examples/covert_channel_demo.py
+"""
+
+from repro.covert import (
+    InterMRChannel,
+    IntraMRChannel,
+    PAPER_BITSTREAM,
+    PriorityChannel,
+    bits_to_text,
+    text_to_bits,
+)
+from repro.covert.inter_mr import InterMRConfig
+from repro.covert.intra_mr import IntraMRConfig
+from repro.rnic import cx5
+
+
+def show(result, secret_bits=None) -> None:
+    print(f"  bandwidth : {result.bandwidth_bps:,.0f} bps")
+    print(f"  error rate: {result.error_rate:.2%}")
+    print(f"  effective : {result.effective_bandwidth_bps:,.0f} bps")
+    if secret_bits is not None:
+        print(f"  received  : {bits_to_text(list(result.decoded))!r}")
+
+
+def main() -> None:
+    secret = "RAGNAR strikes"
+    bits = text_to_bits(secret)
+    print(f"secret: {secret!r} ({len(bits)} bits)\n")
+
+    print("[1] Grain I+II priority channel (bandwidth modulation, ~1 bps)")
+    print("    -- transmitting the paper's 16-bit Figure 9 stream instead,")
+    print("       a full sentence would take two minutes of simulated time")
+    result = PriorityChannel(cx5()).transmit(PAPER_BITSTREAM)
+    show(result)
+    print(f"  sent      : {''.join(map(str, PAPER_BITSTREAM))}")
+    print(f"  decoded   : {''.join(map(str, result.decoded))}\n")
+
+    print("[2] Grain III inter-MR channel (MR-context thrash -> ULI)")
+    channel = InterMRChannel(cx5(), InterMRConfig.best_for("CX-5"))
+    show(channel.transmit(bits), bits)
+    print()
+
+    print("[3] Grain IV intra-MR channel (address offsets 0 B vs 255 B)")
+    print("    -- to Grain I..III counters this traffic is identical for")
+    print("       both bit values; only the address parity differs")
+    channel = IntraMRChannel(cx5(), IntraMRConfig.best_for("CX-5"))
+    show(channel.transmit(bits), bits)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Spy on a distributed database's operators from the outside.
+
+Reproduces the Section VI-A attack: a tenant sharing an RDMA server
+with a distributed database monitors nothing but its OWN bandwidth and
+identifies when the database runs shuffles and joins (Algorithm 1,
+Figure 12).
+
+Run:  python examples/database_fingerprint.py
+"""
+
+from repro.apps.shuffle_join import JoinOperator, OperatorSchedule, ShuffleOperator
+from repro.rnic import cx5
+from repro.side.fingerprint import ShuffleJoinFingerprinter, calibrate_templates
+from repro.sim.units import MILLISECONDS
+from repro.viz import sparkline
+
+
+def main() -> None:
+    print("calibrating shuffle/join fingerprints on a scratch server...")
+    templates = calibrate_templates(cx5())
+    attacker = ShuffleJoinFingerprinter(templates, spec=cx5())
+
+    def victim_schedule(node):
+        schedule = OperatorSchedule(node)
+        end = schedule.add("shuffle", ShuffleOperator(), 25 * MILLISECONDS)
+        end = schedule.add("join", JoinOperator(), end + 40 * MILLISECONDS)
+        schedule.add("shuffle",
+                     ShuffleOperator(duration_ns=30 * MILLISECONDS),
+                     end + 40 * MILLISECONDS)
+        return schedule
+
+    print("attacker online; victim database starts its workload...\n")
+    result = attacker.run(victim_schedule, seed=7)
+
+    trace = [value for _, value in result.samples]
+    print("attacker's own bandwidth (time ->):")
+    print(f"  {sparkline(trace)}\n")
+
+    print("ground truth vs detections:")
+    for (name, start, end), (_, hit) in zip(result.truth, result.matched):
+        status = "DETECTED" if hit else "missed"
+        print(f"  {name:8s} at {start / MILLISECONDS:6.1f}-"
+              f"{end / MILLISECONDS:6.1f} ms : {status}")
+    print(f"\ndetection rate: {result.detection_rate:.0%}, "
+          f"false positives: {result.false_positives}")
+    print("the plateau dips are shuffles, the teeth are joins — "
+          "readable straight off the attacker's own flow.")
+
+
+if __name__ == "__main__":
+    main()

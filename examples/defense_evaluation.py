@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Would your defenses catch this?  The Table I story, live.
+
+Runs five attacks (a performance attack, Pythia, and the three Ragnar
+channels) and shows each one's traffic profile to the three deployed
+defense classes — then demonstrates the Section VII mitigations that
+actually work, and what they cost.
+
+Run:  python examples/defense_evaluation.py
+"""
+
+from repro.defense import CacheGuard, Grain1Detector, HarmonicDetector
+from repro.defense.noise import mean_latency_overhead, with_noise_mitigation
+from repro.covert import IntraMRChannel, random_bits
+from repro.covert.intra_mr import IntraMRConfig
+from repro.experiments import table1
+from repro.rnic import cx5
+
+
+def main() -> None:
+    print("running the five attacks and profiling their traffic...\n")
+    result = table1.run()
+    print(result.format_table())
+
+    detectors = [Grain1Detector(cx5()), HarmonicDetector(cx5()), CacheGuard()]
+    print("what each detector keys on:")
+    for detector in detectors:
+        print(f"  - {detector.name}: "
+              f"{type(detector).__doc__.strip().splitlines()[0]}")
+
+    print("\nthe mitigation that works (Section VII), and its bill:")
+    bits = random_bits(64, seed=1)
+    for scale in (0.0, 0.5, 1.0):
+        spec = with_noise_mitigation(cx5(), scale)
+        channel = IntraMRChannel(spec, IntraMRConfig.best_for("CX-5"))
+        outcome = channel.transmit(bits, seed=2)
+        overhead = mean_latency_overhead(cx5(), spec)
+        print(f"  noise scale {scale:3.1f}: channel error "
+              f"{outcome.error_rate:6.1%}, honest clients pay "
+              f"+{overhead:.1f} ns per request")
+    print("\nGrain-IV channels are invisible to Grain-I..III telemetry;"
+          "\nonly paying latency (noise/partitioning) shuts them up.")
+
+
+if __name__ == "__main__":
+    main()

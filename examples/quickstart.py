@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: the simulated RDMA testbed in five minutes.
+
+Builds a two-host cluster on ConnectX-5 NICs, runs one-sided verbs
+(read / write / atomics), then demonstrates the paper's core
+observable: the Unit Latency Increase and its dependence on the remote
+address offset (Key Finding 4).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster, ProbeTarget, ULIProbe, cx5
+from repro.sim.units import MEBIBYTE
+
+
+def main() -> None:
+    # --- a two-host testbed on one switch ----------------------------
+    cluster = Cluster(seed=42)
+    server = cluster.add_host("server", spec=cx5())
+    client = cluster.add_host("client", spec=cx5())
+    conn = cluster.connect(client, server, max_send_wr=8)
+    mr = server.reg_mr(2 * MEBIBYTE)  # a 2 MB MR on huge pages
+
+    # --- one-sided verbs ---------------------------------------------
+    server.memory.write(mr.addr, b"hello from the memory server")
+    wc = conn.read_blocking(mr, offset=0, length=28)
+    data = client.memory.read(conn.local_mr.addr, 28)
+    print(f"RDMA READ  : {data!r}  ({wc.latency:.0f} ns)")
+
+    client.memory.write(conn.local_mr.addr, b"stored by the client")
+    conn.post_write(mr, offset=4096, length=20)
+    conn.await_completions(1)
+    print(f"RDMA WRITE : {server.memory.read(mr.addr + 4096, 20)!r}")
+
+    server.memory.write_u64(mr.addr + 8192, 41)
+    conn.post_atomic(mr, offset=8192, fetch_add=1)
+    conn.await_completions(1)
+    print(f"FETCH_ADD  : counter is now "
+          f"{server.memory.read_u64(mr.addr + 8192)}")
+
+    # --- the paper's instrument: ULI ----------------------------------
+    print("\nUnit Latency Increase (pipelined reads, queue depth 8):")
+    for label, offset in (("64 B-aligned offset 0", 0),
+                          ("64 B-aligned offset 1024", 1024),
+                          ("misaligned offset 255", 255)):
+        probe = ULIProbe(conn, [ProbeTarget(mr, offset, 64)])
+        uli = probe.measure(200, warmup=32)
+        print(f"  {label:28s}: ULI = {uli.mean():7.1f} ns "
+              f"(p10 {sorted(uli)[len(uli)//10]:.0f} / "
+              f"p90 {sorted(uli)[9*len(uli)//10]:.0f})")
+    print("\nMisaligned remote addresses are measurably slower — the "
+          "offset effect that Ragnar's Grain-IV attacks ride on.")
+
+
+if __name__ == "__main__":
+    main()

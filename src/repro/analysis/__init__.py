@@ -1,0 +1,50 @@
+"""Signal-processing and statistics helpers used across the suite."""
+
+from repro.analysis.stats import (
+    pearson,
+    percentile_band,
+    summarize,
+    SummaryStats,
+)
+from repro.analysis.signal import (
+    fold,
+    moving_average,
+    normalize,
+    zscore,
+)
+from repro.analysis.clustering import otsu_threshold, two_means
+from repro.analysis.periodicity import (
+    alignment_contrast,
+    autocorrelation,
+    dominant_period_fft,
+    dominant_periods,
+    periodogram,
+    power_of_two_score,
+)
+from repro.analysis.correlation import (
+    CorrelationDetector,
+    normalized_cross_correlation,
+    sliding_correlation,
+)
+
+__all__ = [
+    "pearson",
+    "percentile_band",
+    "summarize",
+    "SummaryStats",
+    "fold",
+    "moving_average",
+    "normalize",
+    "zscore",
+    "otsu_threshold",
+    "two_means",
+    "alignment_contrast",
+    "autocorrelation",
+    "dominant_period_fft",
+    "dominant_periods",
+    "periodogram",
+    "power_of_two_score",
+    "CorrelationDetector",
+    "normalized_cross_correlation",
+    "sliding_correlation",
+]

@@ -1,0 +1,69 @@
+"""1-D two-level clustering for bit decoding.
+
+The covert receivers observe a stream of ULI (or bandwidth) values and
+must split them into two levels without knowing the transmitter's
+calibration — classic unsupervised thresholding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def two_means(values, max_iter: int = 100) -> tuple[float, float, float]:
+    """1-D 2-means clustering.
+
+    Returns ``(low_center, high_center, threshold)`` where the threshold
+    is the midpoint of the converged centers.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size < 2:
+        raise ValueError("need at least two values to cluster")
+    low, high = float(arr.min()), float(arr.max())
+    if low == high:
+        return low, high, low
+    for _ in range(max_iter):
+        threshold = 0.5 * (low + high)
+        below = arr[arr <= threshold]
+        above = arr[arr > threshold]
+        if below.size == 0 or above.size == 0:
+            break
+        new_low, new_high = float(below.mean()), float(above.mean())
+        if new_low == low and new_high == high:
+            break
+        low, high = new_low, new_high
+    return low, high, 0.5 * (low + high)
+
+
+def otsu_threshold(values, bins: int = 128) -> float:
+    """Otsu's method: the threshold maximizing between-class variance."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size < 2:
+        raise ValueError("need at least two values")
+    if arr.min() == arr.max():
+        return float(arr.min())
+    hist, edges = np.histogram(arr, bins=bins)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    weights = hist.astype(np.float64)
+    total = weights.sum()
+    cum_w = np.cumsum(weights)
+    cum_mean = np.cumsum(weights * centers)
+    thresholds: list[float] = []
+    scores: list[float] = []
+    for i in range(len(centers) - 1):
+        w0 = cum_w[i]
+        w1 = total - w0
+        if w0 == 0 or w1 == 0:
+            continue
+        mu0 = cum_mean[i] / w0
+        mu1 = (cum_mean[-1] - cum_mean[i]) / w1
+        thresholds.append(0.5 * (centers[i] + centers[i + 1]))
+        scores.append(w0 * w1 * (mu0 - mu1) ** 2)
+    if not scores:
+        return float(arr.mean())
+    # the objective is flat across an empty gap between modes; average
+    # every maximizing threshold to land mid-gap
+    scores_arr = np.asarray(scores)
+    best = scores_arr.max()
+    winners = [t for t, s in zip(thresholds, scores_arr) if s >= best * (1 - 1e-9)]
+    return float(np.mean(winners))

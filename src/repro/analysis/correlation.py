@@ -1,0 +1,81 @@
+"""Template correlation — the detector of Algorithm 1.
+
+The side-channel attacker of Section VI-A keeps a window of bandwidth
+samples and matches it against known shuffle/join fingerprints with
+normalized cross-correlation (``CorrelationDetect`` in Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def normalized_cross_correlation(signal, template) -> float:
+    """NCC of two equal-length vectors in [-1, 1]."""
+    s = np.asarray(signal, dtype=np.float64)
+    t = np.asarray(template, dtype=np.float64)
+    if s.shape != t.shape:
+        raise ValueError(f"shape mismatch: {s.shape} vs {t.shape}")
+    if s.size < 2:
+        raise ValueError("need at least two samples")
+    s = s - s.mean()
+    t = t - t.mean()
+    denom = np.linalg.norm(s) * np.linalg.norm(t)
+    if denom == 0.0:
+        return 0.0
+    return float(np.dot(s, t) / denom)
+
+
+def sliding_correlation(signal, template) -> np.ndarray:
+    """NCC of ``template`` against every window of ``signal``.
+
+    Output length is ``len(signal) - len(template) + 1``.
+    """
+    s = np.asarray(signal, dtype=np.float64)
+    t = np.asarray(template, dtype=np.float64)
+    if t.size > s.size:
+        raise ValueError("template longer than signal")
+    out = np.empty(s.size - t.size + 1)
+    for i in range(out.size):
+        out[i] = normalized_cross_correlation(s[i : i + t.size], t)
+    return out
+
+
+class CorrelationDetector:
+    """Algorithm 1's ``CorrelationDetect``: match a sample window
+    against a set of named pattern templates."""
+
+    def __init__(self, templates: dict[str, np.ndarray], threshold: float = 0.6) -> None:
+        if not templates:
+            raise ValueError("need at least one template")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self.templates = {k: np.asarray(v, dtype=np.float64) for k, v in templates.items()}
+        self.threshold = threshold
+
+    def detect(self, window) -> Optional[str]:
+        """The best-matching pattern name, or None (``P_Null``) if no
+        template clears the correlation threshold."""
+        window = np.asarray(window, dtype=np.float64)
+        best_name, best_score = None, self.threshold
+        for name, template in self.templates.items():
+            if template.size > window.size:
+                continue
+            scores = sliding_correlation(window, template)
+            score = float(scores.max())
+            if score > best_score:
+                best_name, best_score = name, score
+        return best_name
+
+    def scores(self, window) -> dict[str, float]:
+        """Max sliding NCC per template (diagnostics)."""
+        window = np.asarray(window, dtype=np.float64)
+        out = {}
+        for name, template in self.templates.items():
+            if template.size > window.size:
+                out[name] = float("nan")
+            else:
+                out[name] = float(sliding_correlation(window, template).max())
+        return out

@@ -1,0 +1,57 @@
+"""1-D signal helpers: smoothing, normalization, periodic folding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def moving_average(values, window: int) -> np.ndarray:
+    """Centered moving average with edge shrinkage (output length equals
+    input length)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if window == 1 or arr.size == 0:
+        return arr.copy()
+    kernel = np.ones(window)
+    summed = np.convolve(arr, kernel, mode="same")
+    counts = np.convolve(np.ones_like(arr), kernel, mode="same")
+    return summed / counts
+
+
+def normalize(values) -> np.ndarray:
+    """Scale to [0, 1] (the normalized ULI axes of Figure 11)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return arr.copy()
+    lo, hi = arr.min(), arr.max()
+    if hi == lo:
+        return np.zeros_like(arr)
+    return (arr - lo) / (hi - lo)
+
+
+def zscore(values) -> np.ndarray:
+    """Zero-mean unit-variance scaling."""
+    arr = np.asarray(values, dtype=np.float64)
+    std = arr.std()
+    if std == 0.0:
+        return np.zeros_like(arr)
+    return (arr - arr.mean()) / std
+
+
+def fold(values, period: int) -> np.ndarray:
+    """Average a signal over a fixed period (Figures 10–11 fold the ULI
+    stream over two covert bits).  Trailing partial periods are kept and
+    averaged over their available occurrences."""
+    arr = np.asarray(values, dtype=np.float64)
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    if arr.size == 0:
+        return np.zeros(period)
+    out = np.zeros(period)
+    counts = np.zeros(period)
+    idx = np.arange(arr.size) % period
+    np.add.at(out, idx, arr)
+    np.add.at(counts, idx, 1.0)
+    counts[counts == 0] = 1.0
+    return out / counts

@@ -1,0 +1,57 @@
+"""Basic statistics: summaries, percentile bands, Pearson correlation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class SummaryStats:
+    """Mean with the paper's 10/90-percentile band (Figures 5–8)."""
+
+    mean: float
+    p10: float
+    p90: float
+    std: float
+    count: int
+
+
+def summarize(values) -> SummaryStats:
+    """Summary of a sample in the figures' format."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return SummaryStats(
+        mean=float(arr.mean()),
+        p10=float(np.percentile(arr, 10)),
+        p90=float(np.percentile(arr, 90)),
+        std=float(arr.std()),
+        count=int(arr.size),
+    )
+
+
+def percentile_band(values, low: float = 10.0, high: float = 90.0) -> tuple[float, float]:
+    """The (low, high) percentile pair of a sample."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot take percentiles of an empty sample")
+    if not 0 <= low < high <= 100:
+        raise ValueError(f"bad percentile range ({low}, {high})")
+    return float(np.percentile(arr, low)), float(np.percentile(arr, high))
+
+
+def pearson(x, y) -> float:
+    """Pearson correlation coefficient (footnote 8 reports 0.9998 for
+    the Lat_total-vs-queue-length fit)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        raise ValueError("need at least two points")
+    sx, sy = x.std(), y.std()
+    if sx == 0.0 or sy == 0.0:
+        raise ValueError("constant input has undefined correlation")
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))

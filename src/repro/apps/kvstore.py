@@ -1,0 +1,180 @@
+"""A one-sided RDMA key-value store.
+
+The server registers a slot array; clients locate slots by hashing the
+key and fetch them with RDMA Reads — zero server CPU on the read path,
+the design point of FaRM/Pilaf-style stores.  Collisions are resolved
+by bounded linear probing (``MAX_PROBES`` slots); writes go through
+CAS-guarded slot versions so that concurrent one-sided readers can
+detect torn reads.
+
+Slot layout (``SLOT_SIZE`` bytes)::
+
+    [ version:8 | key_len:2 | val_len:2 | pad:4 | key:32 | value:... ]
+
+An odd version marks a slot mid-update.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Optional
+
+from repro.host.cluster import Cluster, RDMAConnection
+from repro.host.node import Host
+from repro.verbs.mr import MemoryRegion
+
+SLOT_SIZE = 256
+SLOT_HEADER = struct.Struct("<QHH4x")
+MAX_KEY = 32
+MAX_VALUE = SLOT_SIZE - SLOT_HEADER.size - MAX_KEY
+MAX_PROBES = 8
+
+
+class StoreFullError(RuntimeError):
+    """No free slot within the probe window of a key."""
+
+
+class KVStoreServer:
+    """Server side: owns the slot array MR."""
+
+    def __init__(self, host: Host, num_slots: int = 1024) -> None:
+        if num_slots <= 0 or (num_slots & (num_slots - 1)):
+            raise ValueError(f"num_slots must be a power of two, got {num_slots}")
+        self.host = host
+        self.num_slots = num_slots
+        self.mr: MemoryRegion = host.reg_mr(num_slots * SLOT_SIZE)
+        host.memory.fill(self.mr.addr, self.mr.length, 0)
+
+    def slot_of(self, key: bytes) -> int:
+        """Home slot index of a key (shared with clients)."""
+        digest = hashlib.sha256(key).digest()
+        return int.from_bytes(digest[:8], "little") % self.num_slots
+
+    def probe_sequence(self, key: bytes) -> list[int]:
+        """The linear-probe slot indices for ``key``."""
+        home = self.slot_of(key)
+        return [(home + j) % self.num_slots for j in range(MAX_PROBES)]
+
+    # Server-local loading (bulk setup without network traffic)
+    def load(self, key: bytes, value: bytes) -> None:
+        """Server-local bulk load (setup without network traffic)."""
+        if len(key) > MAX_KEY:
+            raise ValueError(f"key too long ({len(key)} > {MAX_KEY})")
+        if len(value) > MAX_VALUE:
+            raise ValueError(f"value too long ({len(value)} > {MAX_VALUE})")
+        padded_key = key.ljust(MAX_KEY, b"\0")
+        for slot in self.probe_sequence(key):
+            addr = self.mr.addr + slot * SLOT_SIZE
+            raw = self.host.memory.read(addr, SLOT_HEADER.size + MAX_KEY)
+            version, key_len, _ = SLOT_HEADER.unpack(raw[: SLOT_HEADER.size])
+            occupant = raw[SLOT_HEADER.size : SLOT_HEADER.size + key_len]
+            if version != 0 and occupant != key:
+                continue
+            header = SLOT_HEADER.pack(2, len(key), len(value))
+            self.host.memory.write(addr, header + padded_key + value)
+            return
+        raise StoreFullError(f"no slot for key {key!r} within {MAX_PROBES} probes")
+
+
+class KVStoreClient:
+    """Client side: one-sided GET/PUT against a server's slot array."""
+
+    def __init__(self, conn: RDMAConnection, server: KVStoreServer) -> None:
+        self.conn = conn
+        self.server = server
+        self.gets = 0
+        self.puts = 0
+
+    def _read_slot(self, slot: int) -> bytes:
+        self.conn.post_read(self.server.mr, slot * SLOT_SIZE, SLOT_SIZE)
+        wc = self.conn.await_completions(1)[0]
+        if not wc.ok:
+            raise RuntimeError(f"slot read failed: {wc.status}")
+        return self.conn.client.memory.read(self.conn.local_mr.addr, SLOT_SIZE)
+
+    @staticmethod
+    def _decode_slot(raw: bytes) -> tuple[int, bytes, bytes]:
+        """(version, key, value) of a raw slot image."""
+        version, key_len, val_len = SLOT_HEADER.unpack(raw[: SLOT_HEADER.size])
+        key = raw[SLOT_HEADER.size : SLOT_HEADER.size + key_len]
+        value_start = SLOT_HEADER.size + MAX_KEY
+        return version, key, raw[value_start : value_start + val_len]
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """One-sided GET: RDMA Reads along the probe sequence until the
+        key or an empty slot is found."""
+        for slot in self.server.probe_sequence(key):
+            raw = self._read_slot(slot)
+            version, stored_key, value = self._decode_slot(raw)
+            if version == 0:
+                break  # empty slot terminates the probe chain
+            if version % 2:
+                continue  # mid-update: treat as not found on this path
+            if stored_key == key:
+                self.gets += 1
+                return value
+        self.gets += 1
+        return None
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """PUT via version lock: CAS version to odd, write, bump to even.
+
+        Three one-sided verbs; retries are the caller's concern (the
+        CAS fails if another writer holds the slot).
+        """
+        if len(key) > MAX_KEY:
+            raise ValueError(f"key too long ({len(key)} > {MAX_KEY})")
+        if len(value) > MAX_VALUE:
+            raise ValueError(f"value too long ({len(value)} > {MAX_VALUE})")
+        # probe for our key or the first empty slot
+        target = None
+        for slot in self.server.probe_sequence(key):
+            raw = self._read_slot(slot)
+            version, stored_key, _ = self._decode_slot(raw)
+            if version == 0 or (version % 2 == 0 and stored_key == key):
+                target = (slot, version)
+                break
+        if target is None:
+            raise StoreFullError(
+                f"no slot for key {key!r} within {MAX_PROBES} probes"
+            )
+        slot, version = target
+        offset = slot * SLOT_SIZE
+        slot_addr_off = offset  # version word sits at the slot head
+        if version % 2:
+            raise RuntimeError("slot is locked by another writer")
+
+        # lock: CAS version -> version + 1 (odd)
+        self.conn.post_atomic(self.server.mr, slot_addr_off,
+                              compare=version, swap=version + 1)
+        wc = self.conn.await_completions(1)[0]
+        if not wc.ok:
+            raise RuntimeError(f"PUT lock failed: {wc.status}")
+        seen = self.conn.client.memory.read_u64(self.conn.local_mr.addr)
+        if seen != version:
+            raise RuntimeError("lost PUT race: version changed")
+
+        # write body (key + value), then unlock with version + 2
+        body = key.ljust(MAX_KEY, b"\0") + value
+        local = self.conn.local_mr.addr
+        self.conn.client.memory.write(local, body)
+        self.conn.post_write(self.server.mr, offset + SLOT_HEADER.size, len(body))
+        header = SLOT_HEADER.pack(version + 2, len(key), len(value))
+        self.conn.client.memory.write(local + len(body), header)
+        self.conn.post_write(
+            self.server.mr, offset, SLOT_HEADER.size,
+            local_offset=len(body),
+        )
+        wcs = self.conn.await_completions(2)
+        if not all(wc.ok for wc in wcs):
+            raise RuntimeError("PUT body write failed")
+        self.puts += 1
+
+
+def build_kv_pair(cluster: Cluster, server_host: Host, client_host: Host,
+                  num_slots: int = 1024) -> tuple[KVStoreServer, KVStoreClient]:
+    """Convenience: a server and one connected client."""
+    server = KVStoreServer(server_host, num_slots=num_slots)
+    conn = cluster.connect(client_host, server_host)
+    return server, KVStoreClient(conn, server)

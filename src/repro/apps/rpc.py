@@ -1,0 +1,139 @@
+"""A SEND/RECV RPC service over the simulated fabric.
+
+The missing two-sided workload: a server process polls one CQ fed by a
+shared receive queue, dispatches each inbound request to a handler, and
+answers with a SEND back to the requesting client.  Used as a benign
+tenant in experiments and as the substrate test for SRQ + UD-style
+many-to-one service patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.host.cluster import Cluster
+from repro.host.node import Host
+from repro.sim.process import Process, Timeout
+from repro.verbs.cq import CompletionQueue
+from repro.verbs.enums import Opcode, WCStatus
+from repro.verbs.qp import QueuePair
+from repro.verbs.srq import SharedReceiveQueue
+from repro.verbs.wr import RecvWR, SendWR
+
+#: Size of one RPC slot (request or response payload limit).
+SLOT = 256
+
+
+class RPCServer:
+    """Polls an SRQ-fed CQ and answers requests via a handler."""
+
+    def __init__(self, cluster: Cluster, host: Host,
+                 handler: Optional[Callable[[bytes], bytes]] = None,
+                 srq_capacity: int = 64,
+                 poll_interval_ns: float = 500.0) -> None:
+        self.cluster = cluster
+        self.host = host
+        self.handler = handler if handler is not None else (lambda b: b)
+        self.poll_interval_ns = poll_interval_ns
+        self.srq: SharedReceiveQueue = host.context.create_srq(srq_capacity)
+        self.cq: CompletionQueue = host.context.create_cq()
+        self.buffer_mr = host.reg_mr(srq_capacity * SLOT)
+        self._slot_addr: dict[int, int] = {}
+        self._qp_by_wrid: dict[int, QueuePair] = {}
+        self._qps: list[QueuePair] = []
+        self.served = 0
+        self._running = False
+        for index in range(srq_capacity):
+            self._refill(index)
+
+    def _refill(self, slot_index: int) -> None:
+        address = self.buffer_mr.addr + slot_index * SLOT
+        self._slot_addr[slot_index] = address
+        self.srq.post_recv(RecvWR(local_addr=address, length=SLOT,
+                                  wr_id=slot_index))
+
+    def accept(self, client_host: Host) -> "RPCClient":
+        """Create a connected QP pair for a new client."""
+        client_cq = client_host.context.create_cq()
+        client_qp = client_host.context.create_qp(client_host.pd, client_cq)
+        server_qp = self.host.context.create_qp(self.host.pd, self.cq,
+                                                srq=self.srq)
+        client_qp.connect(server_qp)
+        self._qps.append(server_qp)
+        return RPCClient(self.cluster, client_host, client_qp, client_cq)
+
+    def start(self) -> None:
+        """Launch the polling process on the simulation kernel."""
+        if self._running:
+            raise RuntimeError("server already running")
+        self._running = True
+        Process(self.cluster.sim, self._serve(), name="rpc-server")
+
+    def stop(self) -> None:
+        """Stop serving; the polling process exits on its next tick."""
+        self._running = False
+
+    def _qp_for(self, qp_num: int) -> QueuePair:
+        for qp in self._qps:
+            if qp.qp_num == qp_num:
+                return qp
+        raise KeyError(f"no server QP {qp_num}")
+
+    def _serve(self):
+        while self._running:
+            for wc in self.cq.drain():
+                if wc.opcode is Opcode.RECV and wc.ok:
+                    self._handle(wc)
+            yield Timeout(self.poll_interval_ns)
+
+    def _handle(self, wc) -> None:
+        slot_index = wc.wr_id
+        address = self._slot_addr[slot_index]
+        request = self.host.memory.read(address, wc.byte_len)
+        response = self.handler(request)
+        if len(response) > SLOT:
+            raise ValueError(f"handler response exceeds slot ({len(response)})")
+        # respond on the QP the request arrived on
+        qp = self._qp_for(wc.qp_num)
+        self.host.memory.write(address, response)
+        qp.post_send(SendWR(opcode=Opcode.SEND, local_addr=address,
+                            length=len(response), signaled=False))
+        self.served += 1
+        self._refill(slot_index)
+
+
+class RPCClient:
+    """Blocking request/response calls against an :class:`RPCServer`."""
+
+    def __init__(self, cluster: Cluster, host: Host,
+                 qp: QueuePair, cq: CompletionQueue) -> None:
+        self.cluster = cluster
+        self.host = host
+        self.qp = qp
+        self.cq = cq
+        self.mr = host.reg_mr(2 * SLOT)
+        self.calls = 0
+
+    def call(self, request: bytes, timeout_ns: float = 5e7) -> bytes:
+        """Send a request and run the simulation until the response."""
+        if len(request) > SLOT:
+            raise ValueError(f"request exceeds slot size ({len(request)})")
+        response_addr = self.mr.addr + SLOT
+        self.qp.post_recv(RecvWR(local_addr=response_addr, length=SLOT,
+                                 wr_id=7))
+        self.host.memory.write(self.mr.addr, request)
+        self.qp.post_send(SendWR(opcode=Opcode.SEND,
+                                 local_addr=self.mr.addr,
+                                 length=len(request), signaled=False))
+        sim = self.cluster.sim
+        deadline = sim.now + timeout_ns
+        while True:
+            wcs = [wc for wc in self.cq.drain() if wc.opcode is Opcode.RECV]
+            if wcs:
+                wc = wcs[0]
+                if wc.status is not WCStatus.SUCCESS:
+                    raise RuntimeError(f"RPC failed: {wc.status}")
+                self.calls += 1
+                return self.host.memory.read(response_addr, wc.byte_len)
+            if sim.now >= deadline or not sim.step():
+                raise TimeoutError("no RPC response")

@@ -1,0 +1,38 @@
+"""A write-optimized distributed B+ tree on disaggregated memory.
+
+Modelled after SHERMAN (Wang et al., SIGMOD'22), the Section VI-B
+victim: the index lives entirely in a memory server's (MS) registered
+memory; compute-server (CS) clients traverse and mutate it with
+one-sided verbs only — RDMA Reads for traversal, CAS for node locks and
+the root pointer, FAA for space allocation.  Leaf entries are 64 B
+key-value slots, matching the paper's "currently implemented as a 64 B
+KV store".
+"""
+
+from repro.apps.sherman.layout import (
+    INTERNAL_CAPACITY,
+    LEAF_CAPACITY,
+    NODE_SIZE,
+    InternalNode,
+    LeafEntry,
+    LeafNode,
+    NodeHeader,
+)
+from repro.apps.sherman.server import ShermanMemoryServer
+from repro.apps.sherman.client import ShermanClient
+from repro.apps.sherman.validate import TreeInvariantError, TreeStats, validate_tree
+
+__all__ = [
+    "NODE_SIZE",
+    "LEAF_CAPACITY",
+    "INTERNAL_CAPACITY",
+    "NodeHeader",
+    "LeafEntry",
+    "LeafNode",
+    "InternalNode",
+    "ShermanMemoryServer",
+    "ShermanClient",
+    "validate_tree",
+    "TreeStats",
+    "TreeInvariantError",
+]

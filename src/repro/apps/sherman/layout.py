@@ -1,0 +1,202 @@
+"""On-wire node layout of the Sherman-style B+ tree.
+
+Every node is ``NODE_SIZE`` (1024) bytes::
+
+    header (64 B):
+        lock:8  level:2  count:2  pad:4  low_key:8  high_key:8
+        right_sibling:8  version:8  pad:16
+    leaf body:      LEAF_CAPACITY x 64 B entries (key:8 value:48 ver:8)
+    internal body:  INTERNAL_CAPACITY x 16 B (key:8 child:8)
+
+``low_key``/``high_key`` are fence keys: a client routed by a stale
+cached parent detects the mismatch (key outside the fences) and falls
+back to an uncached traversal — Sherman's stale-cache recovery.
+Leaves chain through ``right_sibling`` for range scans.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+NODE_SIZE = 1024
+HEADER_SIZE = 64
+LEAF_ENTRY_SIZE = 64
+VALUE_SIZE = 48
+LEAF_CAPACITY = (NODE_SIZE - HEADER_SIZE) // LEAF_ENTRY_SIZE          # 15
+INTERNAL_ENTRY_SIZE = 16
+INTERNAL_CAPACITY = (NODE_SIZE - HEADER_SIZE) // INTERNAL_ENTRY_SIZE  # 60
+
+#: Key sentinel for "unbounded" fences.
+KEY_MIN = 0
+KEY_MAX = 2**64 - 1
+
+_HEADER = struct.Struct("<QHH4xQQQQ16x")
+# key:8 | value:48 | val_len:2 | pad:2 | version:4
+_LEAF_ENTRY = struct.Struct("<Q48sHHI")
+_INTERNAL_ENTRY = struct.Struct("<QQ")
+
+assert _HEADER.size == HEADER_SIZE
+assert _LEAF_ENTRY.size == LEAF_ENTRY_SIZE
+assert _INTERNAL_ENTRY.size == INTERNAL_ENTRY_SIZE
+
+
+@dataclasses.dataclass
+class NodeHeader:
+    """The 64-byte node header."""
+
+    lock: int = 0
+    level: int = 0           # 0 = leaf
+    count: int = 0
+    low_key: int = KEY_MIN
+    high_key: int = KEY_MAX
+    right_sibling: int = 0   # 0 = none
+    version: int = 0
+
+    def pack(self) -> bytes:
+        """Serialize to the 64-byte on-wire header."""
+        return _HEADER.pack(
+            self.lock, self.level, self.count,
+            self.low_key, self.high_key, self.right_sibling, self.version,
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "NodeHeader":
+        """Decode a header from a raw node image."""
+        lock, level, count, low, high, sibling, version = _HEADER.unpack(
+            raw[:HEADER_SIZE]
+        )
+        return cls(lock=lock, level=level, count=count, low_key=low,
+                   high_key=high, right_sibling=sibling, version=version)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def covers(self, key: int) -> bool:
+        """Fence check: does this node own ``key``?"""
+        return self.low_key <= key < self.high_key or (
+            key == KEY_MAX and self.high_key == KEY_MAX
+        )
+
+
+@dataclasses.dataclass
+class LeafEntry:
+    """One 64 B KV slot (the paper's 64 B KV store granularity)."""
+
+    key: int
+    value: bytes
+    version: int = 0
+
+    def pack(self) -> bytes:
+        """Serialize to the 64-byte slot format."""
+        if len(self.value) > VALUE_SIZE:
+            raise ValueError(f"value too long ({len(self.value)} > {VALUE_SIZE})")
+        return _LEAF_ENTRY.pack(
+            self.key,
+            self.value.ljust(VALUE_SIZE, b"\0"),
+            len(self.value),
+            0,
+            self.version & 0xFFFFFFFF,
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "LeafEntry":
+        """Decode one 64 B slot."""
+        key, value, val_len, _, version = _LEAF_ENTRY.unpack(raw[:LEAF_ENTRY_SIZE])
+        return cls(key=key, value=value[:val_len], version=version)
+
+
+@dataclasses.dataclass
+class LeafNode:
+    """A decoded leaf: header + sorted entries."""
+
+    header: NodeHeader
+    entries: list[LeafEntry]
+
+    def pack(self) -> bytes:
+        """Serialize header + entries into one NODE_SIZE image."""
+        if len(self.entries) > LEAF_CAPACITY:
+            raise ValueError(f"leaf overflow ({len(self.entries)})")
+        self.header.count = len(self.entries)
+        self.header.level = 0
+        body = b"".join(e.pack() for e in self.entries)
+        return (self.header.pack() + body).ljust(NODE_SIZE, b"\0")
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "LeafNode":
+        """Decode a full leaf image."""
+        header = NodeHeader.unpack(raw)
+        entries = []
+        for i in range(header.count):
+            start = HEADER_SIZE + i * LEAF_ENTRY_SIZE
+            entries.append(LeafEntry.unpack(raw[start : start + LEAF_ENTRY_SIZE]))
+        return cls(header=header, entries=entries)
+
+    def find(self, key: int) -> LeafEntry | None:
+        """The entry holding ``key``, or None."""
+        for entry in self.entries:
+            if entry.key == key:
+                return entry
+        return None
+
+    @staticmethod
+    def entry_offset(index: int) -> int:
+        """Byte offset of entry ``index`` inside the node — the Grain-IV
+        address the snooping attacker recovers."""
+        if not 0 <= index < LEAF_CAPACITY:
+            raise ValueError(f"leaf entry index {index} out of range")
+        return HEADER_SIZE + index * LEAF_ENTRY_SIZE
+
+
+@dataclasses.dataclass
+class InternalNode:
+    """A decoded internal node: header + (separator key, child) pairs.
+
+    ``children[i]`` owns keys in ``[keys[i], keys[i+1])``; ``keys[0]``
+    equals the node's low fence.
+    """
+
+    header: NodeHeader
+    keys: list[int]
+    children: list[int]
+
+    def pack(self) -> bytes:
+        """Serialize header + (key, child) pairs into one node image."""
+        if len(self.keys) != len(self.children):
+            raise ValueError("keys and children must pair up")
+        if len(self.keys) > INTERNAL_CAPACITY:
+            raise ValueError(f"internal overflow ({len(self.keys)})")
+        self.header.count = len(self.keys)
+        if self.header.level == 0:
+            raise ValueError("internal node cannot have level 0")
+        body = b"".join(
+            _INTERNAL_ENTRY.pack(k, c) for k, c in zip(self.keys, self.children)
+        )
+        return (self.header.pack() + body).ljust(NODE_SIZE, b"\0")
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "InternalNode":
+        """Decode a full internal-node image."""
+        header = NodeHeader.unpack(raw)
+        keys, children = [], []
+        for i in range(header.count):
+            start = HEADER_SIZE + i * INTERNAL_ENTRY_SIZE
+            key, child = _INTERNAL_ENTRY.unpack(
+                raw[start : start + INTERNAL_ENTRY_SIZE]
+            )
+            keys.append(key)
+            children.append(child)
+        return cls(header=header, keys=keys, children=children)
+
+    def route(self, key: int) -> int:
+        """Child address owning ``key``."""
+        if not self.keys:
+            raise ValueError("routing through an empty internal node")
+        child = self.children[0]
+        for k, c in zip(self.keys, self.children):
+            if key >= k:
+                child = c
+            else:
+                break
+        return child

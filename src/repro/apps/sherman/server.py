@@ -1,0 +1,67 @@
+"""The memory server (MS) side of the Sherman-style tree.
+
+The MS is passive after setup — exactly the disaggregated-memory design
+point: it registers one big region and never touches the tree again.
+The region starts with a 64-byte superblock::
+
+    [ alloc_cursor:8 | root_addr:8 | pad:48 ]
+
+Clients allocate node space by FAA on ``alloc_cursor`` and install new
+roots by CAS on ``root_addr``.
+"""
+
+from __future__ import annotations
+
+from repro.apps.sherman.layout import KEY_MAX, KEY_MIN, NODE_SIZE, LeafNode, NodeHeader
+from repro.host.node import Host
+from repro.sim.units import MEBIBYTE
+from repro.verbs.mr import MemoryRegion
+
+SUPERBLOCK_SIZE = 64
+ALLOC_CURSOR_OFFSET = 0
+ROOT_ADDR_OFFSET = 8
+
+
+class ShermanMemoryServer:
+    """Owns the MS region and seeds the initial (empty) tree."""
+
+    def __init__(self, host: Host, region_size: int = 8 * MEBIBYTE) -> None:
+        if region_size < SUPERBLOCK_SIZE + 2 * NODE_SIZE:
+            raise ValueError("region too small for a superblock and a root")
+        self.host = host
+        self.mr: MemoryRegion = host.reg_mr(region_size)
+        host.memory.fill(self.mr.addr, region_size, 0)
+        # seed: one empty leaf as the root
+        root_offset = self._bump_local(NODE_SIZE)
+        root = LeafNode(
+            header=NodeHeader(level=0, low_key=KEY_MIN, high_key=KEY_MAX),
+            entries=[],
+        )
+        host.memory.write(self.mr.addr + root_offset, root.pack())
+        host.memory.write_u64(self.mr.addr + ROOT_ADDR_OFFSET, root_offset)
+
+    def _bump_local(self, nbytes: int) -> int:
+        """Server-local allocation during setup (no RDMA involved)."""
+        cursor_addr = self.mr.addr + ALLOC_CURSOR_OFFSET
+        cursor = self.host.memory.read_u64(cursor_addr)
+        if cursor == 0:
+            cursor = SUPERBLOCK_SIZE
+        if cursor + nbytes > self.mr.length:
+            raise MemoryError("memory server region exhausted")
+        self.host.memory.write_u64(cursor_addr, cursor + nbytes)
+        return cursor
+
+    # ------------------------------------------------------------------
+    # Introspection for tests and experiments (server-local reads)
+    # ------------------------------------------------------------------
+    @property
+    def root_offset(self) -> int:
+        return self.host.memory.read_u64(self.mr.addr + ROOT_ADDR_OFFSET)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self.host.memory.read_u64(self.mr.addr + ALLOC_CURSOR_OFFSET)
+
+    def read_node_local(self, offset: int) -> bytes:
+        """Raw node image at ``offset`` (server-local, no RDMA)."""
+        return self.host.memory.read(self.mr.addr + offset, NODE_SIZE)

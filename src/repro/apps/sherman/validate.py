@@ -1,0 +1,121 @@
+"""Server-side structural validation of the Sherman tree.
+
+Walks the tree from the root (using local memory reads, no RDMA) and
+checks every invariant a correct B+ tree maintains.  Used by property
+tests and available to operators as a consistency audit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.apps.sherman.layout import (
+    HEADER_SIZE,
+    INTERNAL_CAPACITY,
+    KEY_MAX,
+    KEY_MIN,
+    LEAF_CAPACITY,
+    InternalNode,
+    LeafNode,
+    NodeHeader,
+)
+from repro.apps.sherman.server import ShermanMemoryServer
+
+
+class TreeInvariantError(AssertionError):
+    """A structural invariant does not hold."""
+
+
+@dataclasses.dataclass
+class TreeStats:
+    """Aggregates collected during validation."""
+
+    height: int = 0
+    internal_nodes: int = 0
+    leaves: int = 0
+    entries: int = 0
+
+    @property
+    def nodes(self) -> int:
+        return self.internal_nodes + self.leaves
+
+
+def validate_tree(server: ShermanMemoryServer) -> TreeStats:
+    """Validate every invariant; returns tree statistics.
+
+    Checks, per node: fence nesting, sorted keys, capacity bounds,
+    level decrease; plus globally: all leaves at level 0, the sibling
+    chain visits every leaf left-to-right with abutting fences, and no
+    lock is held (quiescent tree).
+    """
+    stats = TreeStats()
+    root_offset = server.root_offset
+    root_header = NodeHeader.unpack(server.read_node_local(root_offset))
+    stats.height = root_header.level
+    leaves_via_tree: list[int] = []
+
+    def walk(offset: int, low: int, high: int, level: int) -> None:
+        raw = server.read_node_local(offset)
+        header = NodeHeader.unpack(raw)
+        if header.lock != 0:
+            raise TreeInvariantError(f"node @{offset} lock held ({header.lock})")
+        if header.level != level:
+            raise TreeInvariantError(
+                f"node @{offset} level {header.level}, expected {level}"
+            )
+        if (header.low_key, header.high_key) != (low, high):
+            raise TreeInvariantError(
+                f"node @{offset} fences [{header.low_key}, {header.high_key}) "
+                f"!= expected [{low}, {high})"
+            )
+        if header.is_leaf:
+            leaf = LeafNode.unpack(raw)
+            if len(leaf.entries) > LEAF_CAPACITY:
+                raise TreeInvariantError(f"leaf @{offset} over capacity")
+            keys = [e.key for e in leaf.entries]
+            if keys != sorted(set(keys)):
+                raise TreeInvariantError(f"leaf @{offset} keys not sorted/unique")
+            for key in keys:
+                if not (low <= key < high or (key == KEY_MAX and high == KEY_MAX)):
+                    raise TreeInvariantError(
+                        f"leaf @{offset} key {key} escapes [{low}, {high})"
+                    )
+            stats.leaves += 1
+            stats.entries += len(keys)
+            leaves_via_tree.append(offset)
+            return
+        node = InternalNode.unpack(raw)
+        if not node.keys:
+            raise TreeInvariantError(f"internal node @{offset} is empty")
+        if len(node.keys) > INTERNAL_CAPACITY:
+            raise TreeInvariantError(f"internal node @{offset} over capacity")
+        if node.keys != sorted(set(node.keys)):
+            raise TreeInvariantError(f"internal @{offset} keys not sorted/unique")
+        if node.keys[0] != low:
+            raise TreeInvariantError(
+                f"internal @{offset} first key {node.keys[0]} != low fence {low}"
+            )
+        stats.internal_nodes += 1
+        bounds = node.keys[1:] + [high]
+        for child, child_low, child_high in zip(node.children, node.keys, bounds):
+            walk(child, child_low, child_high, level - 1)
+
+    walk(root_offset, KEY_MIN, KEY_MAX, root_header.level)
+
+    # the sibling chain must visit the same leaves, in order
+    chain: list[int] = []
+    offset = leaves_via_tree[0] if leaves_via_tree else 0
+    guard = 0
+    while offset:
+        chain.append(offset)
+        header = NodeHeader.unpack(server.read_node_local(offset))
+        offset = header.right_sibling
+        guard += 1
+        if guard > 100_000:
+            raise TreeInvariantError("sibling chain does not terminate")
+    if chain != leaves_via_tree:
+        raise TreeInvariantError(
+            f"sibling chain ({len(chain)} leaves) disagrees with the tree "
+            f"walk ({len(leaves_via_tree)} leaves)"
+        )
+    return stats

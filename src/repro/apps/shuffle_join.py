@@ -1,0 +1,150 @@
+"""Distributed-database shuffle and join operators (Section VI-A).
+
+The paper fingerprints the *network phases* of RDMA-based shuffle/join
+(the network-intensive operators of distributed databases).  We model
+each operator as a schedule of bulk fluid flows on the shared server
+NIC:
+
+* **Shuffle** — an all-to-all repartition: every worker streams its
+  partitions at full rate for the round's duration.  On the victim's
+  NIC this is one long saturating phase — the attacker's monitored
+  bandwidth dips in a *plateau* (Figure 12 left).
+* **Join (hash join)** — alternating build/probe rounds: short bursts
+  of partition fetches separated by CPU-bound hashing gaps.  The
+  attacker sees a *tooth* pattern (Figure 12 right).
+
+Operators run against a :class:`DatabaseNode`, which owns the flows it
+injects and removes them when each phase ends.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.host.cluster import Cluster
+from repro.host.node import Host
+from repro.rnic.bandwidth import FluidFlow
+from repro.sim.units import MILLISECONDS
+from repro.verbs.enums import Opcode
+
+
+class DatabaseNode:
+    """A database worker colocated with the contended server NIC."""
+
+    def __init__(self, cluster: Cluster, host: Host) -> None:
+        self.cluster = cluster
+        self.host = host
+        self._active: list[FluidFlow] = []
+
+    def start_flow(self, opcode: Opcode, msg_size: int, qp_num: int,
+                   label: str) -> FluidFlow:
+        """Register one bulk flow on the shared NIC."""
+        flow = FluidFlow(opcode=opcode, msg_size=msg_size, qp_num=qp_num,
+                         label=label)
+        self.host.rnic.add_fluid_flow(flow)
+        self._active.append(flow)
+        return flow
+
+    def stop_flow(self, flow: FluidFlow) -> None:
+        """Remove a flow started by :meth:`start_flow`."""
+        self.host.rnic.remove_fluid_flow(flow)
+        self._active.remove(flow)
+
+    def stop_all(self) -> None:
+        """Remove every flow this node still has registered."""
+        for flow in list(self._active):
+            self.stop_flow(flow)
+
+
+@dataclasses.dataclass(frozen=True)
+class ShuffleOperator:
+    """One shuffle round: a sustained all-to-all repartition."""
+
+    duration_ns: float = 40 * MILLISECONDS
+    msg_size: int = 65536
+    qp_num: int = 8
+    fanout: int = 4   # peers being written to
+
+    def run(self, node: DatabaseNode, start_ns: float) -> float:
+        """Schedule this round at ``start_ns``; returns its end time."""
+        sim = node.cluster.sim
+        flows: list[FluidFlow] = []
+
+        def begin() -> None:
+            for peer in range(self.fanout):
+                flows.append(node.start_flow(
+                    Opcode.RDMA_WRITE, self.msg_size, self.qp_num,
+                    label=f"shuffle-peer{peer}",
+                ))
+
+        def end() -> None:
+            for flow in flows:
+                node.stop_flow(flow)
+
+        sim.schedule_at(start_ns, begin)
+        sim.schedule_at(start_ns + self.duration_ns, end)
+        return start_ns + self.duration_ns
+
+
+@dataclasses.dataclass(frozen=True)
+class JoinOperator:
+    """One hash join: alternating network bursts and hashing gaps.
+
+    Each burst materializes a build-side partition with bulk RDMA
+    Writes, then the worker hashes it locally (the gap).
+    """
+
+    rounds: int = 6
+    burst_ns: float = 6 * MILLISECONDS
+    gap_ns: float = 6 * MILLISECONDS
+    msg_size: int = 32768
+    qp_num: int = 8
+
+    def run(self, node: DatabaseNode, start_ns: float) -> float:
+        """Schedule the join rounds at ``start_ns``; returns the end time."""
+        sim = node.cluster.sim
+        t = start_ns
+        for round_index in range(self.rounds):
+            flow_box: list[Optional[FluidFlow]] = [None]
+
+            def begin(box=flow_box, idx=round_index) -> None:
+                box[0] = node.start_flow(
+                    Opcode.RDMA_WRITE, self.msg_size, self.qp_num,
+                    label=f"join-round{idx}",
+                )
+
+            def end(box=flow_box) -> None:
+                node.stop_flow(box[0])
+
+            sim.schedule_at(t, begin)
+            sim.schedule_at(t + self.burst_ns, end)
+            t += self.burst_ns + self.gap_ns
+        return t
+
+    @property
+    def duration_ns(self) -> float:
+        return self.rounds * (self.burst_ns + self.gap_ns)
+
+
+class OperatorSchedule:
+    """A workload script: named operators at given times.
+
+    The side-channel benchmarks replay schedules like
+    ``[("shuffle", t0), ("join", t1), ...]`` while the attacker
+    fingerprints them from bandwidth alone.
+    """
+
+    def __init__(self, node: DatabaseNode) -> None:
+        self.node = node
+        self.events: list[tuple[str, float, float]] = []  # (name, start, end)
+
+    def add(self, name: str, operator, start_ns: float) -> float:
+        """Schedule ``operator`` at ``start_ns``; returns its end time."""
+        end = operator.run(self.node, start_ns)
+        self.events.append((name, start_ns, end))
+        return end
+
+    def truth(self) -> list[tuple[str, float, float]]:
+        """Ground-truth labels for evaluating the fingerprinting."""
+        return sorted(self.events, key=lambda e: e[1])

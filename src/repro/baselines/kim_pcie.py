@@ -1,0 +1,132 @@
+"""Kim & Hur's PCIe-contention side channel (ICTC'22) — the coarse
+baseline of Table I's Grain-I row.
+
+The attacker measures the latency of its own RDMA operations while a
+colocated device (their paper: a GPU) drives DMA over the shared PCIe
+link.  Contention raises attacker latency, revealing *that* the victim
+is active — but only that: footnote 4 notes it "can only steal coarse
+information ... rather than reveal detailed data".  We demonstrate both
+halves: activity detection works, address recovery is at chance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.clustering import two_means
+from repro.host.cluster import Cluster
+from repro.rnic.bandwidth import FluidFlow
+from repro.rnic.spec import RNICSpec, cx5
+from repro.sim.units import MEBIBYTE
+from repro.verbs.enums import Opcode
+
+
+@dataclasses.dataclass(frozen=True)
+class PCIeActivityResult:
+    """Outcome of an on/off activity-detection run."""
+
+    truth: tuple[int, ...]
+    detected: tuple[int, ...]
+    latencies_on: tuple[float, ...]
+    latencies_off: tuple[float, ...]
+
+    @property
+    def detection_accuracy(self) -> float:
+        hits = sum(1 for t, d in zip(self.truth, self.detected) if t == d)
+        return hits / len(self.truth) if self.truth else 0.0
+
+    @property
+    def separation(self) -> float:
+        """Mean latency gap between active and idle phases (ns)."""
+        return float(np.mean(self.latencies_on) - np.mean(self.latencies_off))
+
+
+class KimPCIeProbe:
+    """The attacker: latency self-measurement under PCIe contention."""
+
+    name = "kim-pcie"
+
+    def __init__(self, spec: Optional[RNICSpec] = None) -> None:
+        self.spec = spec if spec is not None else cx5()
+
+    def _setup(self, seed: int):
+        cluster = Cluster(seed=seed)
+        server = cluster.add_host("server", spec=self.spec)
+        attacker = cluster.add_host("attacker", spec=self.spec)
+        conn = cluster.connect(attacker, server, max_send_wr=8)
+        mr = server.reg_mr(2 * MEBIBYTE)
+        return cluster, server, conn, mr
+
+    def _mean_latency(self, conn, mr, samples: int = 20) -> float:
+        latencies = []
+        for i in range(samples):
+            conn.post_read(mr, 64 * (i % 16), 64)
+            wc = conn.await_completions(1)[0]
+            latencies.append(wc.latency)
+        return float(np.mean(latencies))
+
+    def detect_activity(self, phases: Sequence[int], seed: int = 0
+                        ) -> PCIeActivityResult:
+        """Observe a victim toggling bulk DMA per phase; classify each
+        phase as active/idle from attacker latency alone."""
+        phases = [1 if p else 0 for p in phases]
+        if not phases:
+            raise ValueError("need at least one phase")
+        cluster, server, conn, mr = self._setup(seed)
+        latencies = []
+        on, off = [], []
+        for phase in phases:
+            flow = None
+            if phase:
+                flow = FluidFlow(opcode=Opcode.RDMA_WRITE, msg_size=65536,
+                                 qp_num=16, label="victim-dma")
+                server.rnic.add_fluid_flow(flow)
+            latency = self._mean_latency(conn, mr)
+            latencies.append(latency)
+            (on if phase else off).append(latency)
+            if flow is not None:
+                server.rnic.remove_fluid_flow(flow)
+        _, _, threshold = two_means(np.asarray(latencies))
+        detected = [1 if lat > threshold else 0 for lat in latencies]
+        return PCIeActivityResult(
+            truth=tuple(phases),
+            detected=tuple(detected),
+            latencies_on=tuple(on),
+            latencies_off=tuple(off),
+        )
+
+    def address_recovery_accuracy(self, candidates: Sequence[int],
+                                  trials: int = 34, seed: int = 0) -> float:
+        """Try to recover WHICH address the victim hammers using only
+        PCIe-level contention — footnote 4 says this must fail.
+
+        The victim's per-address traffic is identical at PCIe
+        granularity (same sizes, same rates), so the attacker's mean
+        latency carries no address information and classification sits
+        at chance (~1/len(candidates))."""
+        if trials <= 0:
+            raise ValueError("trials must be positive")
+        candidates = list(candidates)
+        cluster, server, conn, mr = self._setup(seed)
+        rng = np.random.default_rng(seed)
+        # calibration: mean latency while the victim hammers each address
+        # (the victim's flow shape does not depend on the address at all)
+        def observe(address: int) -> float:
+            flow = FluidFlow(opcode=Opcode.RDMA_READ, msg_size=64,
+                             qp_num=2, label=f"victim@{address}")
+            server.rnic.add_fluid_flow(flow)
+            latency = self._mean_latency(conn, mr, samples=10)
+            server.rnic.remove_fluid_flow(flow)
+            return latency
+
+        templates = {addr: observe(addr) for addr in candidates}
+        hits = 0
+        for _ in range(trials):
+            secret = int(rng.choice(candidates))
+            measured = observe(secret)
+            guess = min(templates, key=lambda a: abs(templates[a] - measured))
+            hits += int(guess == secret)
+        return hits / trials

@@ -1,0 +1,61 @@
+"""Covert-channel Ragnar attacks (Section V).
+
+Three channels at increasing granularity and stealthiness:
+
+* :class:`PriorityChannel` — Grain I+II (Section V-B, Figure 9): the
+  sender toggles a bulk write flow's message size; the receiver decodes
+  from its own monitored bandwidth.  ~1 bps, error-free.
+* :class:`InterMRChannel` — Grain III (Section V-C, Figures 10–11): the
+  sender encodes bits by reading the same vs. a different MR; the
+  receiver decodes from its background traffic's ULI.
+* :class:`IntraMRChannel` — Grain IV (Section V-D): the sender encodes
+  bits in the *address offset* (0 B vs 255/257 B) of otherwise
+  identical reads — indistinguishable from benign access-pattern
+  variation to Grain-I..III defenses.
+"""
+
+from repro.covert.framing import (
+    bit_error_rate,
+    bits_to_text,
+    bsc_capacity,
+    random_bits,
+    text_to_bits,
+    PAPER_BITSTREAM,
+)
+from repro.covert.result import ChannelResult
+from repro.covert.lockstep import PipelinedReader, decode_windows, detrend
+from repro.covert.priority_channel import PriorityChannel, PriorityChannelConfig
+from repro.covert.inter_mr import InterMRChannel, InterMRConfig
+from repro.covert.intra_mr import IntraMRChannel, IntraMRConfig
+from repro.covert.fec import (
+    CODE_RATE,
+    coded_transmit,
+    hamming_decode,
+    hamming_encode,
+)
+from repro.covert.multilevel import MultiLevelConfig, MultiLevelIntraMRChannel
+
+__all__ = [
+    "bit_error_rate",
+    "bits_to_text",
+    "bsc_capacity",
+    "random_bits",
+    "text_to_bits",
+    "PAPER_BITSTREAM",
+    "ChannelResult",
+    "PipelinedReader",
+    "decode_windows",
+    "PriorityChannel",
+    "PriorityChannelConfig",
+    "InterMRChannel",
+    "InterMRConfig",
+    "IntraMRChannel",
+    "IntraMRConfig",
+    "detrend",
+    "CODE_RATE",
+    "coded_transmit",
+    "hamming_decode",
+    "hamming_encode",
+    "MultiLevelConfig",
+    "MultiLevelIntraMRChannel",
+]

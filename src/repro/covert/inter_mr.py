@@ -1,0 +1,95 @@
+"""The inter-MR resource channel (Section V-C, Figures 10-11).
+
+Encoding: for bit 0 the sender reads the *shared* MR (the one the
+receiver's background traffic also reads); for bit 1 it reads a second
+MR.  With sender and receiver requests interleaved in the translation
+unit, bit 1 makes every request switch MR contexts, raising the
+receiver's ULI; bit 0 keeps the whole pipeline inside one MR context.
+
+Table V setup: 2 MB MRs, 2 QPs; best parameters are 512 B reads with
+max send queue 10 on CX-4, 64 B / queue 6 on CX-5 and 512 B / queue 6
+on CX-6.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.covert.uli_channel import ULIChannelBase, ULIChannelConfig
+from repro.host.node import Host
+from repro.rnic.spec import RNICSpec
+from repro.sim.units import MEBIBYTE
+from repro.telemetry.uli import ProbeTarget
+
+
+@dataclasses.dataclass(frozen=True)
+class InterMRConfig(ULIChannelConfig):
+    """Inter-MR channel knobs on top of the lockstep base."""
+
+    mr_size: int = 2 * MEBIBYTE
+
+    @classmethod
+    def best_for(cls, rnic_name: str, ambient: bool = False) -> "InterMRConfig":
+        """The per-device best parameter combinations (footnote 10 gives
+        the opcode sizes and queue depths; ``samples_per_bit`` is this
+        reproduction's symbol-rate tuning).  ``ambient`` adds the bursty
+        background tenant used for Table V's realistic error rates."""
+        table = {
+            "CX-4": dict(msg_size=512, max_send_queue=10, samples_per_bit=12),
+            "CX-5": dict(msg_size=64, max_send_queue=6, samples_per_bit=10),
+            "CX-6": dict(msg_size=512, max_send_queue=6, samples_per_bit=10),
+        }
+        try:
+            params = dict(table[rnic_name])
+        except KeyError:
+            raise KeyError(f"no tuned parameters for {rnic_name!r}") from None
+        if ambient:
+            params["ambient_depth"] = 2
+        return cls(**params)
+
+
+class InterMRChannel(ULIChannelBase):
+    """Grain-III covert channel via MR-context switching."""
+
+    name = "inter-mr"
+    high_is_one = True
+
+    def __init__(
+        self,
+        spec: Optional[RNICSpec] = None,
+        config: Optional[InterMRConfig] = None,
+    ) -> None:
+        super().__init__(spec, config if config is not None else InterMRConfig())
+        self.shared_mr = None
+        self.other_mr = None
+
+    def setup_server(self, server: Host) -> None:
+        cfg: InterMRConfig = self.config
+        self.shared_mr = server.reg_mr(cfg.mr_size)
+        self.other_mr = server.reg_mr(cfg.mr_size)
+
+    def receiver_targets(self) -> list[ProbeTarget]:
+        """Background traffic: two aligned targets of the shared MR
+        (alternating targets avoids the same-line lock dominating).
+        Offsets 0 and 512 keep the receiver inside banks 0-15."""
+        size = self.config.msg_size
+        return [
+            ProbeTarget(self.shared_mr, 0, size),
+            ProbeTarget(self.shared_mr, 512, size),
+        ]
+
+    def sender_targets(self, bit: int) -> list[ProbeTarget]:
+        """Sender offsets 1024/1536 sit in banks 16-31, disjoint from
+        the receiver's banks, so the bit rides purely on the MR-context
+        switching, not on incidental bank serialization."""
+        size = self.config.msg_size
+        if bit:
+            return [
+                ProbeTarget(self.other_mr, 1024, size),
+                ProbeTarget(self.other_mr, 1536, size),
+            ]
+        return [
+            ProbeTarget(self.shared_mr, 1024, size),
+            ProbeTarget(self.shared_mr, 1536, size),
+        ]

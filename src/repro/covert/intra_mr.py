@@ -1,0 +1,90 @@
+"""The intra-MR address channel (Section V-D).
+
+The stealthiest channel: sender and receiver read the *same* MR, and
+bits ride purely in the sender's address offset — 0 B (aligned, fast in
+the translation unit) vs 255 B (sub-8 B aligned, slow).  The sender's
+slower service inflates the shared pipeline's cycle time and thus the
+receiver's ULI.  To Grain-I..III counters the sender's traffic is
+byte-for-byte identical across bits; only a Grain-IV (address-aware)
+monitor could tell.
+
+Table V setup: max send queue 8; bit offsets 0/255 B on CX-4 and CX-5,
+0/257 B on CX-6; 512 B reads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.covert.uli_channel import ULIChannelBase, ULIChannelConfig
+from repro.host.node import Host
+from repro.rnic.spec import RNICSpec
+from repro.sim.units import MEBIBYTE
+from repro.telemetry.uli import ProbeTarget
+
+
+@dataclasses.dataclass(frozen=True)
+class IntraMRConfig(ULIChannelConfig):
+    """Intra-MR channel knobs (footnote 11 parameters)."""
+
+    mr_size: int = 2 * MEBIBYTE
+    max_send_queue: int = 8
+    bit_zero_offset: int = 0
+    bit_one_offset: int = 255
+    #: The sender reads at ``sender_base + bit offset``.  Bank layout:
+    #: the receiver's 512 B targets at 0 and 512 cover banks 0-15, the
+    #: sender at 1024(+255) covers banks 16-27 — disjoint, so the only
+    #: bit-dependent coupling is the sender's alignment penalty in the
+    #: shared pipeline, not stray bank serialization.
+    sender_base: int = 1024
+
+    @classmethod
+    def best_for(cls, rnic_name: str, ambient: bool = False) -> "IntraMRConfig":
+        """Footnote 11: 0/255 B offsets for CX-4/5, 0/257 B for CX-6;
+        ``samples_per_bit`` compensates the smaller alignment penalty of
+        newer silicon with a longer symbol.  ``ambient`` adds the bursty
+        background tenant used for Table V's realistic error rates."""
+        table = {
+            "CX-4": dict(bit_one_offset=255, samples_per_bit=10),
+            "CX-5": dict(bit_one_offset=255, samples_per_bit=16),
+            "CX-6": dict(bit_one_offset=257, samples_per_bit=20),
+        }
+        try:
+            params = dict(table[rnic_name])
+        except KeyError:
+            raise KeyError(f"no tuned parameters for {rnic_name!r}") from None
+        if ambient:
+            params["ambient_depth"] = 2
+        return cls(**params)
+
+
+class IntraMRChannel(ULIChannelBase):
+    """Grain-IV covert channel via the offset effect."""
+
+    name = "intra-mr"
+    high_is_one = True
+
+    def __init__(
+        self,
+        spec: Optional[RNICSpec] = None,
+        config: Optional[IntraMRConfig] = None,
+    ) -> None:
+        super().__init__(spec, config if config is not None else IntraMRConfig())
+        self.shared_mr = None
+
+    def setup_server(self, server: Host) -> None:
+        cfg: IntraMRConfig = self.config
+        self.shared_mr = server.reg_mr(cfg.mr_size)
+
+    def receiver_targets(self) -> list[ProbeTarget]:
+        size = self.config.msg_size
+        return [
+            ProbeTarget(self.shared_mr, 0, size),
+            ProbeTarget(self.shared_mr, 512, size),
+        ]
+
+    def sender_targets(self, bit: int) -> list[ProbeTarget]:
+        cfg: IntraMRConfig = self.config
+        offset = cfg.bit_one_offset if bit else cfg.bit_zero_offset
+        return [ProbeTarget(self.shared_mr, cfg.sender_base + offset, cfg.msg_size)]

@@ -1,0 +1,186 @@
+"""Event-driven pipelined clients and window decoding.
+
+The ULI channels need a sender and a receiver issuing reads
+*concurrently* against one server.  :class:`PipelinedReader` is an
+event-driven client: it keeps a constant number of reads outstanding,
+re-posting on every completion, with the target of each read supplied
+by a callable (the sender's callable consults the current covert bit).
+
+``decode_windows`` performs the receiver-side demodulation: ULI samples
+are bucketed into symbol windows by completion timestamp, averaged, and
+thresholded with 1-D 2-means.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.clustering import two_means
+from repro.host.cluster import RDMAConnection
+from repro.telemetry.uli import ProbeTarget
+from repro.verbs.wr import WorkCompletion
+
+
+class PipelinedReader:
+    """Keeps ``depth`` RDMA Reads outstanding on one connection.
+
+    ULI values are recorded in ``samples`` as ``(timestamp, uli)``
+    pairs, where the timestamp is the *midpoint* of the request's
+    post-to-completion interval: a request's latency accumulates over
+    its whole queue residency (roughly ``depth`` service cycles), so the
+    midpoint is the least-biased single timestamp for demodulating a
+    signal that changes over time.  The reader owns the connection's CQ
+    callback.
+    """
+
+    def __init__(
+        self,
+        conn: RDMAConnection,
+        next_target: Callable[[], ProbeTarget],
+        depth: Optional[int] = None,
+    ) -> None:
+        self.conn = conn
+        self.next_target = next_target
+        max_wr = conn.qp.cap.max_send_wr
+        self.depth = depth if depth is not None else max_wr
+        if not 1 <= self.depth <= max_wr:
+            raise ValueError(f"depth {self.depth} outside 1..{max_wr}")
+        self.samples: list[tuple[float, float]] = []
+        self.completed = 0
+        self._running = False
+        if conn.cq.on_completion is not None:
+            raise RuntimeError("connection CQ already has a completion callback")
+        conn.cq.on_completion = self._on_completion
+
+    def start(self) -> None:
+        """Prime the pipeline; must be called before the sim runs."""
+        if self._running:
+            raise RuntimeError("reader already started")
+        self._running = True
+        while self.conn.qp.outstanding_send < self.depth:
+            self._post_one()
+
+    def stop(self) -> None:
+        """Stop re-posting; in-flight reads drain naturally."""
+        self._running = False
+
+    def resume(self) -> None:
+        """Re-prime the pipeline after a :meth:`stop` (on/off traffic)."""
+        self._running = True
+        while self.conn.qp.outstanding_send < self.depth:
+            self._post_one()
+
+    def _post_one(self) -> None:
+        target = self.next_target()
+        self.conn.post_read(target.mr, target.offset, target.size)
+
+    def _on_completion(self, wc: WorkCompletion) -> None:
+        self.conn.cq.poll(1)  # consume the entry we are handling
+        if not wc.ok:
+            raise RuntimeError(f"pipelined read failed: {wc.status}")
+        self.completed += 1
+        midpoint = 0.5 * (wc.post_time + wc.complete_time)
+        self.samples.append((midpoint, wc.unit_latency_increase))
+        if self._running:
+            self._post_one()
+
+    def samples_after(self, t: float) -> list[tuple[float, float]]:
+        return [(ts, v) for ts, v in self.samples if ts >= t]
+
+
+def winsorize(
+    samples: Sequence[tuple[float, float]],
+    multiple: float = 5.0,
+) -> list[tuple[float, float]]:
+    """Clip extreme sample values to ``median + multiple * IQR``.
+
+    RC retransmissions turn a lost frame into a retry-timeout latency
+    spike tens of times larger than the covert signal; one such sample
+    would dominate its window mean AND bleed into the rolling-mean
+    baseline.  Clipping (rather than dropping) keeps the sample count
+    per window stable.
+    """
+    if multiple <= 0:
+        raise ValueError(f"multiple must be positive, got {multiple}")
+    if not samples:
+        return []
+    values = np.asarray([v for _, v in samples])
+    q25, median, q75 = np.percentile(values, (25, 50, 75))
+    iqr = max(q75 - q25, 1e-9)
+    ceiling = median + multiple * iqr
+    return [(t, min(v, ceiling)) for t, v in samples]
+
+
+def detrend(
+    samples: Sequence[tuple[float, float]],
+    half_window_ns: float,
+) -> list[tuple[float, float]]:
+    """Subtract a centered rolling mean from each sample.
+
+    Receiver-side baseline tracking: ambient tenants starting/stopping
+    shift the ULI baseline by far more than one covert bit, but on
+    slower timescales; removing a rolling mean wider than a few symbols
+    keeps the symbol-rate signal while cancelling the baseline steps.
+    """
+    if half_window_ns <= 0:
+        raise ValueError(f"half window must be positive, got {half_window_ns}")
+    if not samples:
+        return []
+    times = np.asarray([t for t, _ in samples])
+    values = np.asarray([v for _, v in samples])
+    order = np.argsort(times)
+    times, values = times[order], values[order]
+    prefix = np.concatenate([[0.0], np.cumsum(values)])
+    lo = np.searchsorted(times, times - half_window_ns, side="left")
+    hi = np.searchsorted(times, times + half_window_ns, side="right")
+    local_mean = (prefix[hi] - prefix[lo]) / np.maximum(hi - lo, 1)
+    return list(zip(times.tolist(), (values - local_mean).tolist()))
+
+
+def window_means(
+    samples: Sequence[tuple[float, float]],
+    start: float,
+    period: float,
+    count: int,
+) -> np.ndarray:
+    """Mean sample value per symbol window ``[start + k*period, ...)``.
+
+    Windows with no samples inherit the previous window's mean (a
+    receiver would treat a silent window as an erasure; inheriting is
+    the simplest concealment and counts as an error if wrong).
+    """
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    sums = np.zeros(count)
+    counts = np.zeros(count)
+    for ts, value in samples:
+        idx = int((ts - start) // period)
+        if 0 <= idx < count:
+            sums[idx] += value
+            counts[idx] += 1
+    means = np.empty(count)
+    previous = 0.0
+    for i in range(count):
+        if counts[i] > 0:
+            previous = sums[i] / counts[i]
+        means[i] = previous
+    return means
+
+
+def decode_windows(
+    samples: Sequence[tuple[float, float]],
+    start: float,
+    period: float,
+    count: int,
+    high_is_one: bool = True,
+) -> list[int]:
+    """Demodulate: per-window means, 2-means threshold, bit decisions."""
+    means = window_means(samples, start, period, count)
+    _, _, threshold = two_means(means)
+    if high_is_one:
+        return [1 if m > threshold else 0 for m in means]
+    return [0 if m > threshold else 1 for m in means]

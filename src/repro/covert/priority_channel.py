@@ -1,0 +1,162 @@
+"""The inter-traffic-class priority channel (Section V-B, Figure 9).
+
+The covert Rx maintains a small monitored flow; the covert Tx encodes
+bit 1 as a burst of 128 B RDMA Writes and bit 0 as 2048 B Writes.  Big
+writes bully the receiver's flow hard (Key Finding 1), small writes
+barely — so the receiver's own bandwidth IS the data.  The channel is
+slow (~1 bps: each symbol must span several bandwidth-sampling windows)
+but error-free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.covert.lockstep import decode_windows
+from repro.covert.result import ChannelResult
+from repro.host.cluster import Cluster
+from repro.rnic.bandwidth import FluidFlow
+from repro.rnic.spec import RNICSpec, cx5
+from repro.sim.units import MILLISECONDS, SECONDS
+from repro.verbs.enums import Opcode
+
+
+@dataclasses.dataclass(frozen=True)
+class PriorityChannelConfig:
+    """Figure 9 parameters."""
+
+    bit_one_size: int = 128       # Tx write size encoding bit 1
+    bit_zero_size: int = 2048     # Tx write size encoding bit 0
+    tx_qp_num: int = 16
+    #: Rx's monitored flow uses large reads: Key Finding 1 says small
+    #: writes (bit 1) barely touch large reads while >=512 B writes
+    #: (bit 0) crush them — giving Figure 9's slight-vs-significant
+    #: drop signature.  The flow is demand-limited (a small flow) so
+    #: monitoring it is cheap.
+    monitor_size: int = 65536
+    monitor_demand_bps: float = 200e6
+    bit_period_ns: float = 1.0 * SECONDS
+    sample_interval_ns: float = 100 * MILLISECONDS
+
+    def __post_init__(self) -> None:
+        if self.bit_period_ns < 2 * self.sample_interval_ns:
+            raise ValueError("bit period must cover at least two samples")
+
+
+class PriorityChannel:
+    """Grain I+II covert channel over bandwidth contention."""
+
+    name = "inter-traffic-class"
+
+    def __init__(
+        self,
+        spec: Optional[RNICSpec] = None,
+        config: Optional[PriorityChannelConfig] = None,
+    ) -> None:
+        self.spec = spec if spec is not None else cx5()
+        self.config = config if config is not None else PriorityChannelConfig()
+
+    def transmit(self, bits: Sequence[int], seed: int = 0) -> ChannelResult:
+        """Run one covert transmission; returns the Table V metrics."""
+        bits = [1 if b else 0 for b in bits]
+        if not bits:
+            raise ValueError("nothing to transmit")
+        cfg = self.config
+        cluster = Cluster(seed=seed)
+        server = cluster.add_host("server", spec=self.spec)
+        rnic = server.rnic
+        # the paper's setup: two traffic classes in ETS mode, 50/50
+        rnic.configure_ets({0: 0.5, 1: 0.5})
+
+        # Rx: a small, demand-limited read flow it continuously measures
+        monitor_flow = FluidFlow(
+            opcode=Opcode.RDMA_READ,
+            msg_size=cfg.monitor_size,
+            qp_num=1,
+            traffic_class=0,
+            demand_bps=cfg.monitor_demand_bps,
+            label="covert-rx-monitor",
+        )
+        rnic.add_fluid_flow(monitor_flow)
+
+        samples: list[tuple[float, float]] = []
+
+        def sample_bandwidth() -> None:
+            samples.append((cluster.sim.now, rnic.fluid_bandwidth(monitor_flow)))
+            cluster.sim.schedule(cfg.sample_interval_ns, sample_bandwidth)
+
+        cluster.sim.schedule(cfg.sample_interval_ns, sample_bandwidth)
+
+        # Tx: swap the bulk write flow at each symbol boundary
+        current_flow: list[Optional[FluidFlow]] = [None]
+
+        def set_bit(bit: int) -> None:
+            if current_flow[0] is not None:
+                rnic.remove_fluid_flow(current_flow[0])
+            size = cfg.bit_one_size if bit else cfg.bit_zero_size
+            flow = FluidFlow(
+                opcode=Opcode.RDMA_WRITE,
+                msg_size=size,
+                qp_num=cfg.tx_qp_num,
+                traffic_class=1,
+                label="covert-tx",
+            )
+            rnic.add_fluid_flow(flow)
+            current_flow[0] = flow
+
+        start = cluster.sim.now
+        for index, bit in enumerate(bits):
+            cluster.sim.schedule(index * cfg.bit_period_ns, set_bit, bit)
+        end = start + len(bits) * cfg.bit_period_ns
+        cluster.sim.run(until=end)
+
+        decoded = decode_windows(
+            samples, start, cfg.bit_period_ns, len(bits), high_is_one=True
+        )
+        return ChannelResult.build(
+            channel=self.name,
+            rnic=self.spec.name,
+            sent=bits,
+            decoded=decoded,
+            duration_ns=end - start,
+        )
+
+    def trace(self, bits: Sequence[int], seed: int = 0) -> list[tuple[float, float]]:
+        """The receiver's raw bandwidth samples (for plotting Figure 9)."""
+        bits = [1 if b else 0 for b in bits]
+        cfg = self.config
+        cluster = Cluster(seed=seed)
+        server = cluster.add_host("server", spec=self.spec)
+        rnic = server.rnic
+        rnic.configure_ets({0: 0.5, 1: 0.5})
+        monitor_flow = FluidFlow(
+            opcode=Opcode.RDMA_READ,
+            msg_size=cfg.monitor_size,
+            qp_num=1,
+            traffic_class=0,
+            demand_bps=cfg.monitor_demand_bps,
+        )
+        rnic.add_fluid_flow(monitor_flow)
+        samples: list[tuple[float, float]] = []
+
+        def sample_bandwidth() -> None:
+            samples.append((cluster.sim.now, rnic.fluid_bandwidth(monitor_flow)))
+            cluster.sim.schedule(cfg.sample_interval_ns, sample_bandwidth)
+
+        cluster.sim.schedule(cfg.sample_interval_ns, sample_bandwidth)
+        current: list[Optional[FluidFlow]] = [None]
+
+        def set_bit(bit: int) -> None:
+            if current[0] is not None:
+                rnic.remove_fluid_flow(current[0])
+            size = cfg.bit_one_size if bit else cfg.bit_zero_size
+            flow = FluidFlow(opcode=Opcode.RDMA_WRITE, msg_size=size,
+                             qp_num=cfg.tx_qp_num, traffic_class=1)
+            rnic.add_fluid_flow(flow)
+            current[0] = flow
+
+        for index, bit in enumerate(bits):
+            cluster.sim.schedule(index * cfg.bit_period_ns, set_bit, bit)
+        cluster.sim.run(until=len(bits) * cfg.bit_period_ns)
+        return samples

@@ -1,0 +1,67 @@
+"""Channel evaluation results in Table V's format."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.covert.framing import bit_error_rate, bsc_capacity
+
+
+@dataclasses.dataclass(frozen=True)
+class ChannelResult:
+    """Outcome of one covert transmission."""
+
+    channel: str
+    rnic: str
+    sent: tuple[int, ...]
+    decoded: tuple[int, ...]
+    duration_ns: float
+
+    @classmethod
+    def build(
+        cls,
+        channel: str,
+        rnic: str,
+        sent: Sequence[int],
+        decoded: Sequence[int],
+        duration_ns: float,
+    ) -> "ChannelResult":
+        if duration_ns <= 0:
+            raise ValueError(f"duration must be positive, got {duration_ns}")
+        return cls(
+            channel=channel,
+            rnic=rnic,
+            sent=tuple(int(b) for b in sent),
+            decoded=tuple(int(b) for b in decoded),
+            duration_ns=float(duration_ns),
+        )
+
+    @property
+    def bits(self) -> int:
+        return len(self.sent)
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """Raw bandwidth: transmitted bits per second."""
+        return self.bits / (self.duration_ns / 1e9)
+
+    @property
+    def error_rate(self) -> float:
+        return bit_error_rate(self.sent, self.decoded)
+
+    @property
+    def effective_bandwidth_bps(self) -> float:
+        """Raw bandwidth scaled by BSC capacity (Table V)."""
+        return self.bandwidth_bps * bsc_capacity(self.error_rate)
+
+    def row(self) -> dict:
+        """A Table V row."""
+        return {
+            "channel": self.channel,
+            "rnic": self.rnic,
+            "bandwidth_bps": self.bandwidth_bps,
+            "error_rate": self.error_rate,
+            "effective_bandwidth_bps": self.effective_bandwidth_bps,
+            "bits": self.bits,
+        }

@@ -1,0 +1,296 @@
+"""Shared machinery of the ULI-based covert channels (Sections V-C/V-D).
+
+Both channels follow the same lockstep protocol:
+
+1. sender and receiver each keep a pipelined stream of RDMA Reads to
+   the same server (they never communicate directly);
+2. a warm-up phase measures the receiver's completion rate, fixing the
+   symbol period at ``samples_per_bit`` receiver completions;
+3. the sender switches its *target set* at every symbol boundary —
+   which MR it reads (inter-MR) or which address offset (intra-MR);
+4. the sender prepends a known alternating preamble; the receiver
+   scans demodulation phase offsets for the one that best separates the
+   preamble (the end-to-end lag is roughly the sender's queue drain
+   plus half the receiver's queue residency);
+5. the receiver buckets its ULI samples into symbol windows at the
+   recovered phase and thresholds with 2-means.
+
+An optional *ambient* client emulates unrelated tenants with bursty
+on/off read traffic — the realistic noise floor that produces the
+paper's few-percent error rates.
+
+Subclasses only define the two target sets and the receiver's
+background targets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.covert.lockstep import (
+    PipelinedReader,
+    decode_windows,
+    detrend,
+    window_means,
+    winsorize,
+)
+from repro.covert.result import ChannelResult
+from repro.fabric.network import Link
+from repro.host.cluster import Cluster
+from repro.host.node import Host
+from repro.rnic.spec import RNICSpec, cx5
+from repro.sim.units import MEBIBYTE, MICROSECONDS
+from repro.telemetry.uli import ProbeTarget
+
+
+@dataclasses.dataclass(frozen=True)
+class ULIChannelConfig:
+    """Lockstep parameters shared by the inter-/intra-MR channels."""
+
+    msg_size: int = 512
+    max_send_queue: int = 6      # the paper's "max send queue size"
+    samples_per_bit: int = 10
+    warmup_completions: int = 200
+    guard_ns: float = 2 * MICROSECONDS
+    preamble_bits: int = 10      # alternating 1010... sync header
+    max_shift_symbols: float = 1.5
+    #: Sender queue depth.  Deeper = stronger coupling (more of the
+    #: shared pipeline's slots carry the sender's encoding) but more
+    #: inter-symbol interference, since already-posted WQEs cannot be
+    #: retargeted when the bit flips; ``samples_per_bit`` must grow
+    #: accordingly.  The per-device tuned configs balance the two.
+    sender_depth: int = 8
+    #: Depth of the optional background (ambient) client that emulates
+    #: unrelated tenants sharing the server; 0 disables it.  Ambient
+    #: traffic is the main source of decoding errors, as on real
+    #: hardware.
+    ambient_depth: int = 0
+    ambient_on_ns: float = 10 * MICROSECONDS    # mean burst duration
+    ambient_off_ns: float = 40 * MICROSECONDS   # mean idle gap
+    #: Receiver baseline tracking: half-width (in symbols) of the
+    #: rolling mean subtracted before demodulation.
+    detrend_symbols: float = 6.0
+    #: Access link used by the covert endpoints (None = lossless
+    #: default).  Lossy links exercise the channels under RC
+    #: retransmission spikes (``bench_ablation_lossy_fabric``).
+    endpoint_link: Optional["Link"] = None
+
+    def __post_init__(self) -> None:
+        if self.samples_per_bit < 2:
+            raise ValueError("need at least two samples per bit")
+        if self.max_send_queue < 1:
+            raise ValueError("send queue must hold at least one WQE")
+        if self.preamble_bits < 4:
+            raise ValueError("preamble too short to recover symbol phase")
+        if self.ambient_depth < 0:
+            raise ValueError("ambient depth must be non-negative")
+
+    @property
+    def preamble(self) -> list[int]:
+        return [(i + 1) % 2 for i in range(self.preamble_bits)]  # 1010...
+
+
+class AmbientClient:
+    """Bursty on/off background reader (an unrelated tenant)."""
+
+    def __init__(self, cluster: Cluster, server: Host, config: ULIChannelConfig) -> None:
+        host = cluster.add_host("ambient", spec=server.rnic.spec)
+        self.conn = cluster.connect(host, server, max_send_wr=config.ambient_depth)
+        self.mr = server.reg_mr(2 * MEBIBYTE)
+        self.cluster = cluster
+        self.config = config
+        self.rng = cluster.sim.random.stream("ambient")
+        self.active = False
+        self._reader = PipelinedReader(self.conn, self._next_target,
+                                       depth=config.ambient_depth)
+
+    def _next_target(self) -> ProbeTarget:
+        # benign tenants read aligned records
+        offset = 64 * int(self.rng.integers(0, (self.mr.length - 4096) // 64))
+        return ProbeTarget(self.mr, offset, int(self.rng.choice([64, 256, 1024])))
+
+    def start(self) -> None:
+        self._toggle()
+
+    def _toggle(self) -> None:
+        if self.active:
+            self._reader.stop()
+            self.active = False
+            mean = self.config.ambient_off_ns
+        else:
+            self._reader.resume()
+            self.active = True
+            mean = self.config.ambient_on_ns
+        delay = float(self.rng.exponential(mean))
+        self.cluster.sim.schedule(max(delay, 1000.0), self._toggle)
+
+
+class _Session:
+    """One live channel session: cluster + both endpoint readers."""
+
+    def __init__(self, channel: "ULIChannelBase", seed: int) -> None:
+        cfg = channel.config
+        self.cluster = Cluster(seed=seed)
+        server = self.cluster.add_host("server", spec=channel.spec)
+        tx_host = self.cluster.add_host("covert-tx", spec=channel.spec,
+                                        link=cfg.endpoint_link)
+        rx_host = self.cluster.add_host("covert-rx", spec=channel.spec,
+                                        link=cfg.endpoint_link)
+        tx_conn = self.cluster.connect(tx_host, server, max_send_wr=cfg.max_send_queue)
+        rx_conn = self.cluster.connect(rx_host, server, max_send_wr=cfg.max_send_queue)
+        channel.setup_server(server)
+
+        rx_targets = channel.receiver_targets()
+        rx_cursor = [0]
+
+        def next_rx_target() -> ProbeTarget:
+            target = rx_targets[rx_cursor[0] % len(rx_targets)]
+            rx_cursor[0] += 1
+            return target
+
+        self.current_bit = [0]
+        tx_cursor = [0]
+
+        def next_tx_target() -> ProbeTarget:
+            targets = channel.sender_targets(self.current_bit[0])
+            target = targets[tx_cursor[0] % len(targets)]
+            tx_cursor[0] += 1
+            return target
+
+        self.receiver = PipelinedReader(rx_conn, next_rx_target)
+        self.sender = PipelinedReader(
+            tx_conn, next_tx_target,
+            depth=min(cfg.sender_depth, cfg.max_send_queue),
+        )
+        self.receiver.start()
+        self.sender.start()
+        if cfg.ambient_depth > 0:
+            AmbientClient(self.cluster, server, cfg).start()
+
+    def warm_up(self, completions: int) -> float:
+        """Run until the receiver has ``completions`` samples; returns
+        the estimated inter-completion time."""
+        while self.receiver.completed < completions:
+            if not self.cluster.sim.step():
+                raise RuntimeError("simulation drained during warm-up")
+        warm = self.receiver.samples[-(completions // 2):]
+        return (warm[-1][0] - warm[0][0]) / (len(warm) - 1)
+
+    def run_frame(self, frame: list[int], period: float, tail_ns: float) -> float:
+        """Schedule the sender's bit flips and run the frame; returns
+        the frame start time."""
+        sim = self.cluster.sim
+        start = sim.now + 2 * MICROSECONDS
+
+        def set_bit(bit: int) -> None:
+            self.current_bit[0] = bit
+
+        for index, bit in enumerate(frame):
+            sim.schedule_at(start + index * period, set_bit, bit)
+        end = start + len(frame) * period
+        sim.run(until=end + tail_ns)
+        self.sender.stop()
+        self.receiver.stop()
+        return start
+
+
+class ULIChannelBase:
+    """Template for lockstep ULI covert channels."""
+
+    name = "uli-base"
+    #: bit 1 raises the receiver's ULI when True
+    high_is_one = True
+
+    def __init__(
+        self,
+        spec: Optional[RNICSpec] = None,
+        config: Optional[ULIChannelConfig] = None,
+    ) -> None:
+        self.spec = spec if spec is not None else cx5()
+        self.config = config if config is not None else ULIChannelConfig()
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def setup_server(self, server: Host) -> None:
+        """Register the MRs the channel uses; store them on self."""
+        raise NotImplementedError
+
+    def receiver_targets(self) -> list[ProbeTarget]:
+        raise NotImplementedError
+
+    def sender_targets(self, bit: int) -> list[ProbeTarget]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # The lockstep protocol
+    # ------------------------------------------------------------------
+    def transmit(self, bits: Sequence[int], seed: int = 0) -> ChannelResult:
+        bits = [1 if b else 0 for b in bits]
+        if not bits:
+            raise ValueError("nothing to transmit")
+        cfg = self.config
+        session = _Session(self, seed)
+        inter_completion = session.warm_up(cfg.warmup_completions)
+        period = cfg.samples_per_bit * inter_completion
+        frame = cfg.preamble + bits
+        start = session.run_frame(
+            frame, period, tail_ns=cfg.max_shift_symbols * period
+        )
+        decoded_frame = self._demodulate(
+            session.receiver.samples_after(start), start, period, frame
+        )
+        decoded = decoded_frame[len(cfg.preamble):]
+        return ChannelResult.build(
+            channel=self.name,
+            rnic=self.spec.name,
+            sent=bits,
+            decoded=decoded,
+            duration_ns=len(frame) * period,
+        )
+
+    def receiver_trace(
+        self, bits: Sequence[int], seed: int = 0
+    ) -> tuple[list[tuple[float, float]], float, float]:
+        """Raw receiver samples plus (start, period) — the demodulator's
+        input, for the folded ULI plots of Figures 10-11."""
+        bits = [1 if b else 0 for b in bits]
+        cfg = self.config
+        session = _Session(self, seed)
+        inter_completion = session.warm_up(cfg.warmup_completions)
+        period = cfg.samples_per_bit * inter_completion
+        start = session.run_frame(list(bits), period, tail_ns=period)
+        return session.receiver.samples_after(start), start, period
+
+    def _demodulate(
+        self,
+        samples: list[tuple[float, float]],
+        start: float,
+        period: float,
+        frame: list[int],
+    ) -> list[int]:
+        """Outlier clipping, baseline removal, phase recovery on the
+        preamble, then window decoding."""
+        cfg = self.config
+        samples = winsorize(samples)
+        samples = detrend(samples, half_window_ns=cfg.detrend_symbols * period)
+        preamble = np.asarray(cfg.preamble, dtype=np.float64)
+        sign = 1.0 if self.high_is_one else -1.0
+        best_shift, best_contrast = 0.0, -np.inf
+        for shift in np.linspace(0.0, cfg.max_shift_symbols * period, 31):
+            means = window_means(samples, start + shift, period, len(cfg.preamble))
+            ones = means[preamble == 1]
+            zeros = means[preamble == 0]
+            contrast = sign * (ones.mean() - zeros.mean())
+            if contrast > best_contrast:
+                best_contrast, best_shift = contrast, float(shift)
+        return decode_windows(
+            samples,
+            start + best_shift,
+            period,
+            len(frame),
+            high_is_one=self.high_is_one,
+        )

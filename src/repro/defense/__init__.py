@@ -1,0 +1,41 @@
+"""Defenses and mitigations (Table I's "Defended" column, Section VII).
+
+Detection side:
+
+* :class:`Grain1Detector` — the RNIC's native per-traffic-class
+  counters and flow control (catches Grain-I pressure attacks);
+* :class:`HarmonicDetector` — HARMONIC-style Grain-II/III telemetry:
+  per-opcode/message-size profiles and RDMA resource counts (catches
+  the Collie/Husky performance attacks);
+* :class:`CacheGuard` — cache-attack detection on MPT/MTT miss and
+  eviction rates (catches Pythia).
+
+Mitigation side (Section VII):
+
+* :func:`with_noise_mitigation` — inject sub-microsecond latency noise
+  into the translation unit;
+* :func:`with_partitioning` — hard-partition translation-unit banks
+  and pipelines per tenant.
+
+Ragnar's Grain-III/IV channels present benign Grain-I..III profiles,
+which is exactly why every detector above misses them.
+"""
+
+from repro.defense.profile import TenantProfile, Verdict
+from repro.defense.pfc import Grain1Detector
+from repro.defense.harmonic import HarmonicDetector, HarmonicIsolation
+from repro.defense.cache_guard import CacheGuard
+from repro.defense.noise import with_noise_mitigation
+from repro.defense.partition import PartitionedTranslationUnit, with_partitioning
+
+__all__ = [
+    "TenantProfile",
+    "Verdict",
+    "Grain1Detector",
+    "HarmonicDetector",
+    "HarmonicIsolation",
+    "CacheGuard",
+    "with_noise_mitigation",
+    "PartitionedTranslationUnit",
+    "with_partitioning",
+]

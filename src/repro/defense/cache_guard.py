@@ -1,0 +1,44 @@
+"""Cache-attack detection (what stops Pythia but not Ragnar).
+
+General cache-side-channel countermeasures monitor miss and eviction
+behaviour: an eviction-based covert channel must keep kicking the
+victim's entries out of the on-NIC MPT/MTT caches, producing a miss/
+eviction signature far above any benign working set.  Ragnar's volatile
+channels leave the caches warm — the whole point of Section II-D's
+comparison.
+"""
+
+from __future__ import annotations
+
+from repro.defense.profile import TenantProfile, Verdict
+
+
+class CacheGuard:
+    """Flags tenants with eviction-storm cache telemetry."""
+
+    name = "cache-guard"
+
+    def __init__(self, miss_rate_threshold: float = 0.25,
+                 evictions_per_second_threshold: float = 10_000.0) -> None:
+        if not 0.0 < miss_rate_threshold < 1.0:
+            raise ValueError("miss-rate threshold must be in (0,1)")
+        self.miss_rate_threshold = miss_rate_threshold
+        self.evictions_per_second_threshold = evictions_per_second_threshold
+
+    def inspect(self, profile: TenantProfile) -> Verdict:
+        """Flag tenants whose cache telemetry shows eviction storms."""
+        seconds = profile.duration_ns / 1e9
+        eviction_rate = profile.cache_evictions / seconds if seconds else 0.0
+        if (profile.cache_accesses > 100
+                and profile.cache_miss_rate > self.miss_rate_threshold
+                and eviction_rate > self.evictions_per_second_threshold):
+            return Verdict(
+                detector=self.name,
+                flagged=True,
+                reason=(
+                    f"eviction storm: miss rate {profile.cache_miss_rate:.0%}, "
+                    f"{eviction_rate:.0f} evictions/s"
+                ),
+            )
+        return Verdict(detector=self.name, flagged=False,
+                       reason="cache behaviour benign")

@@ -1,0 +1,134 @@
+"""HARMONIC-style Grain-II/III defense.
+
+HARMONIC (Lou et al., NSDI'24) adds per-opcode counters and RDMA
+resource-utilization telemetry for performance isolation.  Our detector
+encodes its published signatures of microarchitectural abuse:
+
+* pps-bound floods of tiny messages (Collie/Husky's anomaly recipes);
+* atomic-heavy mixes (atomics serialize the responder pipeline);
+* abnormal RDMA resource populations (QP/MR churn — Grain-III);
+* write floods at sizes chosen to flip arbitration (the Grain-II
+  availability attacks of Zhang/Kong).
+
+The Ragnar inter-/intra-MR senders present ordinary read-mostly
+profiles with 1-2 MRs and moderate rates, so every rule passes them —
+Table I's central claim.
+"""
+
+from __future__ import annotations
+
+from repro.defense.profile import TenantProfile, Verdict
+from repro.rnic.spec import RNICSpec
+
+
+class HarmonicDetector:
+    """Grain-II/III anomaly rules over tenant profiles."""
+
+    name = "harmonic"
+
+    def __init__(
+        self,
+        spec: RNICSpec,
+        pps_fraction_threshold: float = 0.5,
+        atomic_fraction_threshold: float = 0.5,
+        max_qps: int = 64,
+        max_mrs: int = 64,
+        tiny_size: int = 64,
+        tiny_write_pps_threshold: float = 1e6,
+    ) -> None:
+        self.spec = spec
+        self.pps_fraction_threshold = pps_fraction_threshold
+        self.atomic_fraction_threshold = atomic_fraction_threshold
+        self.max_qps = max_qps
+        self.max_mrs = max_mrs
+        self.tiny_size = tiny_size
+        self.tiny_write_pps_threshold = tiny_write_pps_threshold
+
+    def inspect(self, profile: TenantProfile) -> Verdict:
+        """Run every HARMONIC rule; first flagged verdict wins."""
+        checks = (
+            self._check_pps_flood,
+            self._check_atomic_flood,
+            self._check_resource_abuse,
+            self._check_tiny_write_flood,
+        )
+        for check in checks:
+            verdict = check(profile)
+            if verdict.flagged:
+                return verdict
+        return Verdict(detector=self.name, flagged=False,
+                       reason="profile within HARMONIC envelopes")
+
+    def _check_pps_flood(self, profile: TenantProfile) -> Verdict:
+        limit = self.spec.max_pps_rx * self.pps_fraction_threshold
+        if profile.avg_pps > limit:
+            return Verdict(self.name, True,
+                           f"message rate {profile.avg_pps:.2e} pps floods "
+                           f"the processing units")
+        return Verdict(self.name, False)
+
+    def _check_atomic_flood(self, profile: TenantProfile) -> Verdict:
+        if (profile.atomic_fraction > self.atomic_fraction_threshold
+                and profile.total_messages > 1000):
+            return Verdict(self.name, True,
+                           f"atomic fraction {profile.atomic_fraction:.0%} "
+                           f"serializes the responder")
+        return Verdict(self.name, False)
+
+    def _check_resource_abuse(self, profile: TenantProfile) -> Verdict:
+        if profile.qp_count > self.max_qps or profile.mr_count > self.max_mrs:
+            return Verdict(self.name, True,
+                           f"resource churn: {profile.qp_count} QPs / "
+                           f"{profile.mr_count} MRs")
+        return Verdict(self.name, False)
+
+    def _check_tiny_write_flood(self, profile: TenantProfile) -> Verdict:
+        tiny_writes = sum(
+            count for size, count in profile.msg_size_counts.items()
+            if size <= self.tiny_size
+        )
+        tiny_pps = tiny_writes / (profile.duration_ns / 1e9)
+        if (profile.write_fraction > 0.9
+                and tiny_pps > self.tiny_write_pps_threshold):
+            return Verdict(self.name, True,
+                           f"tiny-write flood at {tiny_pps:.2e} pps "
+                           f"(Grain-II availability signature)")
+        return Verdict(self.name, False)
+
+
+class HarmonicIsolation:
+    """HARMONIC's enforcement half: rate-police flagged tenants.
+
+    Detection alone only names the bully; the NSDI'24 system's point is
+    *performance isolation* — flagged tenants are throttled to a small
+    bandwidth budget so victims recover.  ``police`` inspects each
+    tenant's profile and caps the fluid flows of flagged tenants in
+    place, then triggers reallocation on the NIC.
+
+    The Table I consequence falls out naturally: Ragnar's senders are
+    never flagged, so they are never throttled.
+    """
+
+    def __init__(self, detector: HarmonicDetector,
+                 cap_bps: float = 1e9) -> None:
+        if cap_bps <= 0:
+            raise ValueError("cap must be positive")
+        self.detector = detector
+        self.cap_bps = cap_bps
+
+    def police(self, rnic, tenants: dict) -> dict[str, Verdict]:
+        """``tenants`` maps tenant name -> (TenantProfile, [FluidFlow]).
+
+        Returns the verdicts; flagged tenants' flows are capped to a
+        per-tenant share of ``cap_bps``.
+        """
+        verdicts: dict[str, Verdict] = {}
+        for tenant, (profile, flows) in tenants.items():
+            verdict = self.detector.inspect(profile)
+            verdicts[tenant] = verdict
+            if verdict.flagged and flows:
+                share = self.cap_bps / len(flows)
+                for flow in flows:
+                    flow.demand_bps = min(flow.demand_bps, share)
+                    rnic.update_fluid_flow(flow)
+        return verdicts

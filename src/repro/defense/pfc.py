@@ -1,0 +1,43 @@
+"""Grain-I defense: native per-traffic-class counters + flow control.
+
+Modern RNICs expose per-TC byte counters and enforce ETS shares with
+PFC.  The detector flags tenants that persistently saturate their
+traffic class — the coarse pressure attacks of Grain-I.  It is blind to
+anything that stays within its bandwidth share, which every ULI-based
+Ragnar channel does by construction.
+"""
+
+from __future__ import annotations
+
+from repro.defense.profile import TenantProfile, Verdict
+from repro.rnic.spec import RNICSpec
+
+
+class Grain1Detector:
+    """Flags tenants exceeding their ETS share of line rate."""
+
+    name = "grain1-pfc"
+
+    def __init__(self, spec: RNICSpec, tc_share: float = 0.5,
+                 tolerance: float = 1.1) -> None:
+        if not 0.0 < tc_share <= 1.0:
+            raise ValueError(f"tc_share must be in (0,1], got {tc_share}")
+        self.spec = spec
+        self.tc_share = tc_share
+        self.tolerance = tolerance
+
+    def inspect(self, profile: TenantProfile) -> Verdict:
+        """Flag the tenant if it exceeds its traffic-class budget."""
+        budget = self.spec.line_rate_bps * self.tc_share * self.tolerance
+        rate = profile.avg_rate_bps
+        if rate > budget:
+            return Verdict(
+                detector=self.name,
+                flagged=True,
+                reason=(
+                    f"tenant {profile.tenant} at {rate / 1e9:.1f} Gbps "
+                    f"exceeds its {budget / 1e9:.1f} Gbps TC budget"
+                ),
+            )
+        return Verdict(detector=self.name, flagged=False,
+                       reason="within traffic-class budget")

@@ -1,0 +1,12 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each driver exposes ``run(...) -> ExperimentResult`` and is invoked by
+the corresponding benchmark in ``benchmarks/`` (see DESIGN.md's
+per-experiment index).  Drivers return structured rows so benchmarks
+can both print the paper-style table and assert the paper's qualitative
+claims.
+"""
+
+from repro.experiments.result import ExperimentResult
+
+__all__ = ["ExperimentResult"]

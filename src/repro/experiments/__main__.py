@@ -1,0 +1,106 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments table5 fig13
+    python -m repro.experiments --all --out results/
+
+Each experiment prints its paper-style table and writes it under the
+output directory.  Runtimes range from sub-second (table1) to a couple
+of minutes (fig13 at full scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import fig4, fig5, fig12, fig13, mitigation
+from repro.experiments import pythia_cmp, stealth, table1, table5, uli_linearity
+from repro.experiments.fig6_7_8 import run_fig6, run_fig7, run_fig8
+from repro.experiments.fig9_10_11 import run_fig9, run_fig10, run_fig11
+
+#: Paper-scale parameter overrides used by ``--full``.  The defaults
+#: trade some statistical weight for runtime; ``--full`` restores the
+#: paper's magnitudes (e.g. Figure 13's 6720-trace dataset).
+FULL_SCALE: dict[str, dict] = {
+    "table5": dict(payload_bits=1024),
+    "fig5": dict(samples=400),
+    "fig6": dict(samples=150),
+    "fig7": dict(samples=150),
+    "fig8": dict(samples=150),
+    "fig13": dict(per_class=395, epochs=16),   # 17 * 395 = 6715 traces
+    "pythia": dict(payload_bits=512),
+    "linearity": dict(samples_per_depth=400),
+}
+
+REGISTRY: dict[str, Callable] = {
+    "table1": table1.run,
+    "table5": table5.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "pythia": pythia_cmp.run,
+    "stealth": stealth.run,
+    "linearity": uli_linearity.run,
+    "mitigation-noise": mitigation.run_noise,
+    "mitigation-partition": mitigation.run_partition,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names (see --list)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--out", default="results",
+                        help="output directory (default: results/)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale workloads (Figure 13's 6720 "
+                             "traces etc.); expect tens of minutes")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in REGISTRY:
+            print(name)
+        return 0
+    names = list(REGISTRY) if args.all else args.experiments
+    if not names:
+        parser.error("name at least one experiment, or use --all / --list")
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown} (see --list)")
+
+    for name in names:
+        started = time.time()
+        runner = REGISTRY[name]
+        kwargs = dict(FULL_SCALE.get(name, {})) if args.full else {}
+        try:
+            result = runner(seed=args.seed, **kwargs)
+        except TypeError:
+            result = runner(**kwargs)  # a few runners take no seed
+        print(result.format_table())
+        path = result.save(args.out)
+        print(f"[{name}: {time.time() - started:.1f}s -> {path}]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Figure 13: snooping disaggregated memory + the address classifier.
+
+(a) demo traces from the full pipeline for a few victim addresses;
+(b) ResNet-1d 17-way recovery accuracy on a synthesized dataset
+    (paper: 6720 traces, 95.6 %).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.result import ExperimentResult
+from repro.rnic.spec import RNICSpec, cx5
+from repro.side.dataset import SnoopDataset, evaluate_classifier, nearest_centroid
+from repro.side.snoop import (
+    CANDIDATE_OFFSETS,
+    OBSERVATION_OFFSETS,
+    capture_trace_sim,
+)
+
+
+def run(spec: RNICSpec | None = None, per_class: int = 60,
+        epochs: int = 12, seed: int = 0) -> ExperimentResult:
+    """Regenerate Figure 13: demo traces + the 17-way classifier."""
+    spec = spec if spec is not None else cx5()
+
+    # (a) full-pipeline demo traces.  The last candidate (1024) sits on
+    # the observation set's edge where its bump has a single sample, so
+    # the demo uses 960 as the high-offset example.
+    demo = {}
+    for victim in (0, 512, 960):
+        trace = capture_trace_sim(victim, spec=spec, seed=seed)
+        obs = np.asarray(OBSERVATION_OFFSETS)
+        zone = (obs >= victim) & (obs < victim + 64)
+        demo[victim] = {
+            "trace": trace,
+            "bump_ns": float(trace[zone].mean() - trace[~zone].mean()),
+        }
+
+    # (b) classifier on the synthesized dataset
+    dataset = SnoopDataset.generate(per_class=per_class, spec=spec, seed=seed)
+    report = evaluate_classifier(dataset, epochs=epochs, seed=seed)
+    centroid_accuracy = nearest_centroid(dataset, seed=seed)
+
+    rows = [{
+        "victims": len(CANDIDATE_OFFSETS),
+        "traces": len(dataset.y),
+        "trace_dim": len(OBSERVATION_OFFSETS),
+        "resnet_accuracy": report.test_accuracy,
+        "paper_accuracy": 0.956,
+        "centroid_accuracy": centroid_accuracy,
+        "train_accuracy": report.train_accuracy,
+        "epochs": report.epochs,
+    }]
+    for victim, info in demo.items():
+        rows.append({
+            "victims": f"demo victim @{victim}B",
+            "traces": "full-sim",
+            "trace_dim": 257,
+            "resnet_accuracy": None,
+            "paper_accuracy": None,
+            "centroid_accuracy": None,
+            "train_accuracy": None,
+            "epochs": f"bump {info['bump_ns']:.0f} ns",
+        })
+    return ExperimentResult(
+        experiment="fig13",
+        title="Disaggregated-memory address snooping (paper Figure 13)",
+        rows=rows,
+        notes=(
+            "classifier trained on translation-unit-level traces; demo "
+            "rows show full-pipeline captures with the contention bump "
+            "at the victim's offset"
+        ),
+        series={
+            "confusion": report.confusion,
+            "per_class_accuracy": report.per_class_accuracy,
+            "demo": demo,
+        },
+    )

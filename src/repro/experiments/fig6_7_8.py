@@ -1,0 +1,103 @@
+"""Figures 6-8: ULI vs absolute/relative address offsets on CX-4."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.periodicity import alignment_contrast, power_of_two_score
+from repro.experiments.result import ExperimentResult
+from repro.revengine.offset_sweep import (
+    OffsetSweepResult,
+    absolute_offset_sweep,
+    relative_offset_sweep,
+)
+from repro.rnic.spec import RNICSpec, cx4
+
+
+def _rows(sweep: OffsetSweepResult, stride: int = 1) -> list[dict]:
+    rows = []
+    for i in range(0, len(sweep.offsets), stride):
+        rows.append({
+            "offset_B": sweep.offsets[i],
+            "uli_ns": sweep.stats[i].mean,
+            "p10_ns": sweep.stats[i].p10,
+            "p90_ns": sweep.stats[i].p90,
+        })
+    return rows
+
+
+def run_fig6(spec: RNICSpec | None = None, samples: int = 60,
+             seed: int = 0) -> ExperimentResult:
+    """Figure 6: 64 B reads, absolute offsets (fine + periodic views)."""
+    spec = spec if spec is not None else cx4()
+    fine = absolute_offset_sweep(
+        spec=spec, offsets=range(0, 576, 4), msg_size=64,
+        samples=samples, seed=seed,
+    )
+    coarse = absolute_offset_sweep(
+        spec=spec, offsets=range(2048, 2048 + 8192, 64), msg_size=64,
+        samples=samples, seed=seed,
+    )
+    offs = np.asarray(fine.offsets)
+    metrics = {
+        "align8_contrast_ns": alignment_contrast(fine.means, offs, 8),
+        "align64_extra_drop_ns": float(
+            fine.means[(offs % 8 == 0) & (offs % 64 != 0)].mean()
+            - fine.means[offs % 64 == 0].mean()
+        ),
+        "period2048_score": power_of_two_score(coarse.means, 64, 2048),
+    }
+    return ExperimentResult(
+        experiment="fig6",
+        title="ULI vs absolute offset, 64 B reads (paper Figure 6)",
+        rows=_rows(fine, stride=2),
+        notes=str(metrics),
+        series={"fine": fine, "coarse": coarse, "metrics": metrics},
+    )
+
+
+def run_fig7(spec: RNICSpec | None = None, samples: int = 60,
+             seed: int = 0) -> ExperimentResult:
+    """Figure 7: same sweep with 1024 B reads."""
+    spec = spec if spec is not None else cx4()
+    sweep = absolute_offset_sweep(
+        spec=spec, offsets=range(0, 8192, 64), msg_size=1024,
+        samples=samples, seed=seed,
+    )
+    return ExperimentResult(
+        experiment="fig7",
+        title="ULI vs absolute offset, 1024 B reads (paper Figure 7)",
+        rows=_rows(sweep, stride=2),
+        notes="same 2-power structure at a larger message size; "
+              "multi-line spans change the pattern's shape",
+        series={"sweep": sweep},
+    )
+
+
+def run_fig8(spec: RNICSpec | None = None, samples: int = 60,
+             seed: int = 0) -> ExperimentResult:
+    """Figure 8: 64 B reads, relative offsets between consecutive reads."""
+    spec = spec if spec is not None else cx4()
+    sweep = relative_offset_sweep(
+        spec=spec, deltas=range(0, 4352, 64), msg_size=64,
+        samples=samples, seed=seed,
+    )
+    deltas = np.asarray(sweep.offsets)
+    means = sweep.means
+    metrics = {
+        "same_line_lock_ns": float(
+            means[deltas == 0][0]
+            - means[(deltas >= 64) & (deltas <= 512)].mean()
+        ),
+        "segment_step_ns": float(
+            means[deltas >= 2048].mean()
+            - means[(deltas > 0) & (deltas < 1024)].mean()
+        ),
+    }
+    return ExperimentResult(
+        experiment="fig8",
+        title="ULI vs relative offset, 64 B reads (paper Figure 8)",
+        rows=_rows(sweep, stride=2),
+        notes=str(metrics),
+        series={"sweep": sweep, "metrics": metrics},
+    )

@@ -1,0 +1,49 @@
+"""The Section I headline: Ragnar vs Pythia bandwidth on CX-5
+(paper: 63.6 Kbps vs 20 Kbps = 3.2x)."""
+
+from __future__ import annotations
+
+from repro.baselines.pythia import PythiaChannel
+from repro.covert import random_bits
+from repro.covert.inter_mr import InterMRChannel, InterMRConfig
+from repro.experiments.result import ExperimentResult
+from repro.rnic.spec import cx5, cx6
+
+
+def run(payload_bits: int = 128, seed: int = 0) -> ExperimentResult:
+    bits = random_bits(payload_bits, seed=seed)
+    rows = []
+    pythia = PythiaChannel(cx5()).transmit(bits, seed=seed)
+    ragnar5 = InterMRChannel(cx5(), InterMRConfig.best_for("CX-5")).transmit(
+        bits, seed=seed
+    )
+    ragnar6 = InterMRChannel(cx6(), InterMRConfig.best_for("CX-6")).transmit(
+        bits, seed=seed
+    )
+    for result, paper_bps in ((pythia, 20e3), (ragnar5, 63.6e3),
+                              (ragnar6, 84.3e3)):
+        rows.append({
+            "channel": result.channel,
+            "rnic": result.rnic,
+            "bandwidth_bps": result.bandwidth_bps,
+            "error_rate": result.error_rate,
+            "effective_bps": result.effective_bandwidth_bps,
+            "paper_bps": paper_bps,
+        })
+    ratio = ragnar5.effective_bandwidth_bps / pythia.effective_bandwidth_bps
+    rows.append({
+        "channel": "ratio ragnar/pythia (CX-5)",
+        "rnic": "CX-5",
+        "bandwidth_bps": ratio,
+        "error_rate": None,
+        "effective_bps": None,
+        "paper_bps": 3.2,
+    })
+    return ExperimentResult(
+        experiment="pythia_cmp",
+        title="Ragnar inter-MR vs the Pythia baseline",
+        rows=rows,
+        notes="the paper reports 3.2x on CX-5; the shape claim is "
+              "'multiple times faster'",
+        series={"ratio": ratio},
+    )

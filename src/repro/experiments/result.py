@@ -1,0 +1,62 @@
+"""Structured experiment results with paper-style table rendering."""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+from typing import Any, Optional
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Rows + provenance for one regenerated table/figure."""
+
+    experiment: str
+    title: str
+    rows: list[dict]
+    notes: str = ""
+    series: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def format_table(self, max_rows: Optional[int] = 40) -> str:
+        """Render rows as an aligned ASCII table."""
+        if not self.rows:
+            return f"== {self.experiment}: {self.title} ==\n(no rows)\n"
+        columns = list(self.rows[0].keys())
+        rendered = [
+            [self._fmt(row.get(col, "")) for col in columns]
+            for row in (self.rows[:max_rows] if max_rows else self.rows)
+        ]
+        widths = [
+            max(len(col), *(len(r[i]) for r in rendered))
+            for i, col in enumerate(columns)
+        ]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append("  ".join(col.ljust(w) for col, w in zip(columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rendered:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if max_rows and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1e5 or abs(value) < 1e-2:
+                return f"{value:.3g}"
+            return f"{value:.2f}"
+        return str(value)
+
+    def save(self, directory: str = "results") -> pathlib.Path:
+        """Write the rendered table under ``results/``."""
+        path = pathlib.Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        target = path / f"{self.experiment}.txt"
+        target.write_text(self.format_table(max_rows=None))
+        return target

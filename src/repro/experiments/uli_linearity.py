@@ -1,0 +1,33 @@
+"""Footnotes 7-8: Lat_total = k(len_sq + 1) + C with r ~ 0.9998, C ~ 0."""
+
+from __future__ import annotations
+
+from repro.experiments.result import ExperimentResult
+from repro.revengine.uli_linearity import measure_linearity
+from repro.rnic.spec import SPEC_REGISTRY
+
+
+def run(samples_per_depth: int = 100, seed: int = 0) -> ExperimentResult:
+    """Fit Lat_total vs queue depth on every device."""
+    rows = []
+    for name in ("CX-4", "CX-5", "CX-6"):
+        fit = measure_linearity(
+            spec=SPEC_REGISTRY[name](),
+            depths=(8, 12, 16, 24, 32, 48),
+            samples_per_depth=samples_per_depth,
+            seed=seed,
+        )
+        rows.append({
+            "rnic": name,
+            "slope_k_ns": fit.slope_k,
+            "intercept_C_ns": fit.intercept_c,
+            "pearson_r": fit.pearson_r,
+            "relative_C": fit.relative_intercept,
+            "paper_r": 0.9998,
+        })
+    return ExperimentResult(
+        experiment="uli_linearity",
+        title="ULI linearity fit (paper footnotes 7-8)",
+        rows=rows,
+        notes="Pearson must be ~1 and C negligible on every device",
+    )

@@ -1,0 +1,5 @@
+"""The network fabric connecting RNICs: links and a single-switch LAN."""
+
+from repro.fabric.network import Link, Network, Switch
+
+__all__ = ["Link", "Switch", "Network"]

@@ -1,0 +1,85 @@
+"""A store-and-forward switched fabric.
+
+The paper's testbed is hosts on one RoCE switch (Table II); we model a
+single switch whose per-hop cost is the store-and-forward delay plus
+fiber propagation on each link.  Per-port serialization happens at the
+NICs' wire stations, so the switch itself only adds latency (its
+backplane is provisioned above the sum of port rates, as real ToR
+switches are).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Hashable
+
+
+@dataclasses.dataclass(frozen=True)
+class Link:
+    """A fiber between an RNIC port and a switch port.
+
+    ``loss_probability`` models corrupted/dropped frames; RoCE fabrics
+    are engineered to be nearly lossless (PFC), so the default is 0 and
+    the RC transport's retransmission handles the rest.
+    """
+
+    propagation_ns: float = 200.0
+    loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.propagation_ns < 0:
+            raise ValueError("propagation must be non-negative")
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError("loss probability must be in [0, 1)")
+
+
+@dataclasses.dataclass(frozen=True)
+class Switch:
+    """A single store-and-forward switch hop."""
+
+    forward_ns: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.forward_ns < 0:
+            raise ValueError("forward delay must be non-negative")
+
+
+class Network:
+    """Registry of endpoints hanging off one switch."""
+
+    def __init__(self, switch: Switch | None = None) -> None:
+        self.switch = switch if switch is not None else Switch()
+        self._links: dict[Hashable, Link] = {}
+
+    def attach(self, endpoint: Hashable, link: Link | None = None) -> None:
+        """Attach an endpoint (an RNIC) with its access link."""
+        if endpoint in self._links:
+            raise ValueError(f"endpoint {endpoint!r} already attached")
+        self._links[endpoint] = link if link is not None else Link()
+
+    def attached(self, endpoint: Hashable) -> bool:
+        return endpoint in self._links
+
+    def transit_ns(self, src: Hashable, dst: Hashable) -> float:
+        """One-way latency from ``src`` to ``dst`` (excluding
+        serialization, which the sending NIC's wire station accounts)."""
+        try:
+            src_link = self._links[src]
+            dst_link = self._links[dst]
+        except KeyError as missing:
+            raise KeyError(f"endpoint {missing.args[0]!r} not attached") from None
+        if src is dst:
+            return 0.0  # loopback never leaves the NIC
+        return src_link.propagation_ns + self.switch.forward_ns + dst_link.propagation_ns
+
+    def loss_probability(self, src: Hashable, dst: Hashable) -> float:
+        """End-to-end frame-loss probability of the src->dst path."""
+        try:
+            src_link = self._links[src]
+            dst_link = self._links[dst]
+        except KeyError as missing:
+            raise KeyError(f"endpoint {missing.args[0]!r} not attached") from None
+        if src is dst:
+            return 0.0
+        survive = (1.0 - src_link.loss_probability) * (1.0 - dst_link.loss_probability)
+        return 1.0 - survive

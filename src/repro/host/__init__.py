@@ -1,0 +1,7 @@
+"""Host-side models: pinned memory, nodes, and multi-host clusters."""
+
+from repro.host.memory import HostMemory
+from repro.host.node import Host
+from repro.host.cluster import Cluster, RDMAConnection
+
+__all__ = ["HostMemory", "Host", "Cluster", "RDMAConnection"]

@@ -1,0 +1,54 @@
+"""A host: CPU + pinned memory + one RNIC."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.host.memory import HostMemory
+from repro.rnic.rnic import RNIC
+from repro.rnic.spec import RNICSpec
+from repro.sim.kernel import Simulator
+from repro.sim.units import MEBIBYTE
+from repro.verbs.context import Context
+from repro.verbs.enums import AccessFlags
+from repro.verbs.mr import MemoryRegion
+from repro.fabric.network import Link, Network
+
+
+class Host:
+    """One machine of the testbed (a row of Table II).
+
+    Owns its DRAM, its RNIC (attached to the cluster network) and an
+    opened verbs context with a default PD.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        spec: Optional[RNICSpec] = None,
+        network: Optional[Network] = None,
+        memory_size: int = 32 * MEBIBYTE,
+        link: Optional["Link"] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.memory = HostMemory(size=memory_size)
+        self.rnic = RNIC(sim, spec=spec, name=f"{name}.rnic",
+                         network=network, link=link)
+        self.context = Context(engine=self.rnic, memory=self.memory, name=name)
+        self.pd = self.context.alloc_pd()
+
+    def reg_mr(
+        self,
+        length: int,
+        access: AccessFlags = AccessFlags.all_remote(),
+        huge_pages: bool = True,
+    ) -> MemoryRegion:
+        """Register an MR in the host's default PD."""
+        return self.context.reg_mr(
+            self.pd, length, access=access, huge_pages=huge_pages
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Host {self.name} rnic={self.rnic.spec.name}>"

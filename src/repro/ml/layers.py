@@ -1,0 +1,256 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+Conventions: activations are ``(batch, channels, length)`` for
+convolutional layers and ``(batch, features)`` for dense layers.  Each
+layer stores its parameters in ``params`` and accumulates gradients of
+the same shapes in ``grads`` during :meth:`backward`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Layer:
+    """Base class: stateless layers only override forward/backward."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+        self.training = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer's output, caching what backward needs."""
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads; return dLoss/dInput."""
+        raise NotImplementedError
+
+    def train(self) -> None:
+        """Switch to training mode (batch statistics, caching)."""
+        self.training = True
+
+    def eval(self) -> None:
+        """Switch to inference mode (running statistics)."""
+        self.training = False
+
+    def parameters(self) -> list[tuple["Layer", str]]:
+        """(owner, name) handles for every trainable array."""
+        return [(self, name) for name in self.params]
+
+
+def _im2col(x: np.ndarray, kernel: int, stride: int, pad: int) -> np.ndarray:
+    """(N, C, L) -> (N, C*K, L_out) patch matrix."""
+    n, c, length = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad)))
+    l_out = (length + 2 * pad - kernel) // stride + 1
+    idx = np.arange(kernel)[None, :] + stride * np.arange(l_out)[:, None]
+    # (N, C, L_out, K) -> (N, C*K, L_out)
+    patches = x[:, :, idx]                      # (N, C, L_out, K)
+    return patches.transpose(0, 1, 3, 2).reshape(n, c * kernel, l_out)
+
+
+def _col2im(cols: np.ndarray, x_shape: tuple, kernel: int, stride: int,
+            pad: int) -> np.ndarray:
+    """Adjoint of :func:`_im2col`."""
+    n, c, length = x_shape
+    l_padded = length + 2 * pad
+    l_out = (l_padded - kernel) // stride + 1
+    patches = cols.reshape(n, c, kernel, l_out).transpose(0, 1, 3, 2)
+    out = np.zeros((n, c, l_padded))
+    idx = np.arange(kernel)[None, :] + stride * np.arange(l_out)[:, None]
+    np.add.at(out, (slice(None), slice(None), idx), patches)
+    if pad:
+        out = out[:, :, pad:-pad]
+    return out
+
+
+class Conv1d(Layer):
+    """1-D convolution via im2col + matmul."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int,
+                 stride: int = 1, pad: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if kernel <= 0 or stride <= 0:
+            raise ValueError("kernel and stride must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad if pad is not None else kernel // 2
+        rng = rng if rng is not None else np.random.default_rng(0)
+        scale = np.sqrt(2.0 / (in_channels * kernel))  # He init
+        self.params["w"] = rng.normal(0.0, scale,
+                                      (out_channels, in_channels * kernel))
+        self.params["b"] = np.zeros(out_channels)
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected (N, {self.in_channels}, L), got {x.shape}"
+            )
+        cols = _im2col(x, self.kernel, self.stride, self.pad)
+        out = np.einsum("fk,nkl->nfl", self.params["w"], cols)
+        out += self.params["b"][None, :, None]
+        self._cache = (x.shape, cols)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x_shape, cols = self._cache
+        self.grads["b"] = grad.sum(axis=(0, 2))
+        self.grads["w"] = np.einsum("nfl,nkl->fk", grad, cols)
+        grad_cols = np.einsum("fk,nfl->nkl", self.params["w"], grad)
+        return _col2im(grad_cols, x_shape, self.kernel, self.stride, self.pad)
+
+
+class BatchNorm1d(Layer):
+    """Per-channel batch normalization over (N, L)."""
+
+    def __init__(self, channels: int, momentum: float = 0.9,
+                 eps: float = 1e-5) -> None:
+        super().__init__()
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.params["gamma"] = np.ones(channels)
+        self.params["beta"] = np.zeros(channels)
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[1] != self.channels:
+            raise ValueError(f"expected {self.channels} channels, got {x.shape}")
+        if self.training:
+            mean = x.mean(axis=(0, 2))
+            var = x.var(axis=(0, 2))
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None]) * inv_std[None, :, None]
+        self._cache = (x_hat, inv_std, x.shape)
+        return self.params["gamma"][None, :, None] * x_hat + \
+            self.params["beta"][None, :, None]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x_hat, inv_std, shape = self._cache
+        n_eff = shape[0] * shape[2]
+        self.grads["gamma"] = (grad * x_hat).sum(axis=(0, 2))
+        self.grads["beta"] = grad.sum(axis=(0, 2))
+        g = grad * self.params["gamma"][None, :, None]
+        if not self.training:
+            return g * inv_std[None, :, None]
+        sum_g = g.sum(axis=(0, 2), keepdims=True)
+        sum_gx = (g * x_hat).sum(axis=(0, 2), keepdims=True)
+        return (inv_std[None, :, None] / n_eff) * (
+            n_eff * g - sum_g - x_hat * sum_gx
+        )
+
+
+class ReLU(Layer):
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask
+
+
+class Dense(Layer):
+    """Fully connected layer on (N, features)."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.params["w"] = rng.normal(0.0, scale, (in_features, out_features))
+        self.params["b"] = np.zeros(out_features)
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.params["w"] + self.params["b"]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        self.grads["w"] = self._x.T @ grad
+        self.grads["b"] = grad.sum(axis=0)
+        return grad @ self.params["w"].T
+
+
+class GlobalAvgPool1d(Layer):
+    """(N, C, L) -> (N, C)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._length = 0
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._length = x.shape[2]
+        return x.mean(axis=2)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return np.repeat(grad[:, :, None], self._length, axis=2) / self._length
+
+
+class Flatten(Layer):
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._shape)
+
+
+class Sequential(Layer):
+    """A layer pipeline."""
+
+    def __init__(self, *layers: Layer) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def train(self) -> None:
+        super().train()
+        for layer in self.layers:
+            layer.train()
+
+    def eval(self) -> None:
+        super().eval()
+        for layer in self.layers:
+            layer.eval()
+
+    def parameters(self) -> list[tuple[Layer, str]]:
+        out = []
+        for layer in self.layers:
+            out.extend(layer.parameters())
+        return out

@@ -1,0 +1,36 @@
+"""Classification metrics for the Figure 13 evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: {predictions.shape} vs {labels.shape}"
+        )
+    if predictions.size == 0:
+        raise ValueError("cannot score an empty prediction set")
+    return float((predictions == labels).mean())
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray,
+                     num_classes: int) -> np.ndarray:
+    """``matrix[true, predicted]`` counts — Figure 13(b)'s heatmap."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels disagree on shape")
+    if num_classes <= 0:
+        raise ValueError("num_classes must be positive")
+    if predictions.size and (
+        predictions.min() < 0 or predictions.max() >= num_classes
+        or labels.min() < 0 or labels.max() >= num_classes
+    ):
+        raise ValueError("class index outside [0, num_classes)")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix

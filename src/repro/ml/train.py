@@ -1,0 +1,123 @@
+"""Optimizer, loss and training loop."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.ml.layers import Layer
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Softmax cross-entropy.  Returns (mean loss, dLoss/dLogits)."""
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (N, C), got {logits.shape}")
+    if len(labels) != len(logits):
+        raise ValueError("labels and logits disagree on batch size")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = len(labels)
+    log_likelihood = -np.log(probs[np.arange(n), labels] + 1e-12)
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return float(log_likelihood.mean()), grad / n
+
+
+class Adam:
+    """Adam over a model's (layer, name) parameter handles."""
+
+    def __init__(self, model: Layer, lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.model = model
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._handles = model.parameters()
+        self._m = [np.zeros_like(layer.params[name]) for layer, name in self._handles]
+        self._v = [np.zeros_like(layer.params[name]) for layer, name in self._handles]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        for i, (layer, name) in enumerate(self._handles):
+            grad = layer.grads.get(name)
+            if grad is None:
+                continue
+            if self.weight_decay:
+                grad = grad + self.weight_decay * layer.params[name]
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad**2
+            m_hat = self._m[i] / (1 - self.beta1**self._t)
+            v_hat = self._v[i] / (1 - self.beta2**self._t)
+            layer.params[name] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def train_test_split(x: np.ndarray, y: np.ndarray, test_fraction: float = 0.25,
+                     seed: int = 0) -> tuple:
+    """Shuffled split into (x_train, y_train, x_test, y_test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0,1), got {test_fraction}")
+    if len(x) != len(y):
+        raise ValueError("x and y disagree on sample count")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(x))
+    split = int(len(x) * (1.0 - test_fraction))
+    train_idx, test_idx = order[:split], order[split:]
+    return x[train_idx], y[train_idx], x[test_idx], y[test_idx]
+
+
+@dataclasses.dataclass
+class EpochStats:
+    epoch: int
+    loss: float
+    train_accuracy: float
+
+
+class Trainer:
+    """Minibatch SGD loop with per-epoch stats."""
+
+    def __init__(self, model: Layer, optimizer: Adam,
+                 batch_size: int = 64, seed: int = 0) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        self.model = model
+        self.optimizer = optimizer
+        self.batch_size = batch_size
+        self.rng = np.random.default_rng(seed)
+        self.history: list[EpochStats] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray, epochs: int,
+            log: Optional[Callable[[EpochStats], None]] = None) -> list[EpochStats]:
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        for epoch in range(epochs):
+            self.model.train()
+            order = self.rng.permutation(len(x))
+            losses = []
+            correct = 0
+            for start in range(0, len(x), self.batch_size):
+                idx = order[start : start + self.batch_size]
+                batch_x, batch_y = x[idx], y[idx]
+                logits = self.model.forward(batch_x)
+                loss, grad = cross_entropy(logits, batch_y)
+                self.model.backward(grad)
+                self.optimizer.step()
+                losses.append(loss)
+                correct += int((np.argmax(logits, axis=1) == batch_y).sum())
+            stats = EpochStats(
+                epoch=epoch,
+                loss=float(np.mean(losses)),
+                train_accuracy=correct / len(x),
+            )
+            self.history.append(stats)
+            if log is not None:
+                log(stats)
+        return self.history

@@ -1,0 +1,40 @@
+"""Section IV reverse-engineering microbenchmarks.
+
+These recover — from the *outside*, via bandwidth counters and ULI
+probes — the contention behaviours that the RNIC model embeds:
+
+* :mod:`priority_sweep` — the >6000-combination Grain-I/II study behind
+  Figure 4 and Key Findings 1–3;
+* :mod:`uli_linearity` — the Lat_total = k(len_sq+1) + C fit of
+  footnotes 7–8 (Pearson ≈ 0.9998, C ≈ 0);
+* :mod:`mr_sweep` — ULI for same-MR vs different-MR alternation across
+  message sizes (Figure 5);
+* :mod:`offset_sweep` — ULI vs absolute and relative address offsets
+  (Figures 6–8, Key Finding 4).
+"""
+
+from repro.revengine.priority_sweep import (
+    CompetitionResult,
+    PrioritySweep,
+    classify_outcome,
+)
+from repro.revengine.uli_linearity import LinearityResult, measure_linearity
+from repro.revengine.mr_sweep import MRSweepResult, mr_contention_sweep
+from repro.revengine.offset_sweep import (
+    OffsetSweepResult,
+    absolute_offset_sweep,
+    relative_offset_sweep,
+)
+
+__all__ = [
+    "CompetitionResult",
+    "PrioritySweep",
+    "classify_outcome",
+    "LinearityResult",
+    "measure_linearity",
+    "MRSweepResult",
+    "mr_contention_sweep",
+    "OffsetSweepResult",
+    "absolute_offset_sweep",
+    "relative_offset_sweep",
+]

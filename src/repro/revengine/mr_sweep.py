@@ -1,0 +1,61 @@
+"""Same-MR vs different-MR ULI across message sizes (Figure 5).
+
+The probe alternately reads two addresses that live either in the same
+remote MR or in two different remote MRs; the MR-context switch inside
+the translation unit separates the two cases.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.analysis.stats import SummaryStats, summarize
+from repro.host.cluster import Cluster
+from repro.rnic.spec import RNICSpec, cx4
+from repro.sim.units import MEBIBYTE
+from repro.telemetry.uli import ProbeTarget, ULIProbe
+
+
+@dataclasses.dataclass(frozen=True)
+class MRSweepResult:
+    """ULI statistics for one (message size, same/different MR) cell."""
+
+    msg_size: int
+    same_mr: bool
+    uli: SummaryStats
+
+
+def mr_contention_sweep(
+    spec: Optional[RNICSpec] = None,
+    sizes: Sequence[int] = (64, 256, 1024, 4096),
+    samples: int = 200,
+    depth: int = 2,
+    seed: int = 0,
+) -> list[MRSweepResult]:
+    """Measure alternate-access ULI for same- and different-MR targets.
+
+    TABLE IV setup: 2 MB MRs on huge pages, 2 QPs worth of queue depth,
+    one PD.  The second target's offset is kept in a different 64 B line
+    of the *same* segment so that only the MR identity differs between
+    the two sweeps.
+    """
+    results = []
+    for same_mr in (True, False):
+        for size in sizes:
+            cluster = Cluster(seed=seed)
+            server = cluster.add_host("server", spec=spec if spec else cx4())
+            client = cluster.add_host("client", spec=spec if spec else cx4())
+            conn = cluster.connect(client, server, max_send_wr=max(depth, 2))
+            mr_a = server.reg_mr(2 * MEBIBYTE)
+            mr_b = mr_a if same_mr else server.reg_mr(2 * MEBIBYTE)
+            # identical offsets in both cases (0 and 1024: distinct 64 B
+            # lines and banks of one segment), so the only difference
+            # between the sweeps is the MR identity
+            targets = [ProbeTarget(mr_a, 0, size), ProbeTarget(mr_b, 1024, size)]
+            probe = ULIProbe(conn, targets, depth=depth)
+            uli = probe.measure(samples, warmup=32)
+            results.append(
+                MRSweepResult(msg_size=size, same_mr=same_mr, uli=summarize(uli))
+            )
+    return results

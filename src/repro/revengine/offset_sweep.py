@@ -1,0 +1,125 @@
+"""ULI vs address offset sweeps (Figures 6-8, Key Finding 4).
+
+Two experiments, both alternating two addresses of one remote MR with
+pipelined RDMA Reads:
+
+* **absolute sweep** (Figures 6-7): the first address is fixed at
+  offset 0, the second sweeps across the MR; ULI is plotted against the
+  second address's absolute offset;
+* **relative sweep** (Figure 8): the pair is (base, base + delta) with
+  delta sweeping — the interaction between *consecutive* reads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import SummaryStats, summarize
+from repro.host.cluster import Cluster
+from repro.rnic.spec import RNICSpec, cx4
+from repro.sim.units import MEBIBYTE
+from repro.telemetry.uli import ProbeTarget, ULIProbe
+
+
+@dataclasses.dataclass(frozen=True)
+class OffsetSweepResult:
+    """ULI statistics per swept offset."""
+
+    offsets: tuple[int, ...]
+    stats: tuple[SummaryStats, ...]
+    msg_size: int
+    mode: str  # "absolute" or "relative"
+
+    @property
+    def means(self) -> np.ndarray:
+        return np.asarray([s.mean for s in self.stats])
+
+    @property
+    def p10(self) -> np.ndarray:
+        return np.asarray([s.p10 for s in self.stats])
+
+    @property
+    def p90(self) -> np.ndarray:
+        return np.asarray([s.p90 for s in self.stats])
+
+
+def _measure_pair(
+    spec: RNICSpec,
+    offset_a: int,
+    offset_b: int,
+    msg_size: int,
+    samples: int,
+    depth: int,
+    seed: int,
+) -> SummaryStats:
+    cluster = Cluster(seed=seed)
+    server = cluster.add_host("server", spec=spec)
+    client = cluster.add_host("client", spec=spec)
+    conn = cluster.connect(client, server, max_send_wr=max(depth, 2))
+    mr = server.reg_mr(2 * MEBIBYTE)
+    targets = [
+        ProbeTarget(mr, offset_a, msg_size),
+        ProbeTarget(mr, offset_b, msg_size),
+    ]
+    probe = ULIProbe(conn, targets, depth=depth)
+    return summarize(probe.measure(samples, warmup=32))
+
+
+def absolute_offset_sweep(
+    spec: Optional[RNICSpec] = None,
+    offsets: Optional[Sequence[int]] = None,
+    msg_size: int = 64,
+    samples: int = 80,
+    depth: int = 2,
+    seed: int = 0,
+) -> OffsetSweepResult:
+    """Figures 6-7: alternate (0, offset) and record ULI per offset."""
+    spec = spec if spec is not None else cx4()
+    if offsets is None:
+        offsets = list(range(0, 4096, 32))
+    stats = [
+        _measure_pair(spec, 0, offset, msg_size, samples, depth, seed)
+        for offset in offsets
+    ]
+    return OffsetSweepResult(
+        offsets=tuple(int(o) for o in offsets),
+        stats=tuple(stats),
+        msg_size=msg_size,
+        mode="absolute",
+    )
+
+
+def relative_offset_sweep(
+    spec: Optional[RNICSpec] = None,
+    deltas: Optional[Sequence[int]] = None,
+    base_offset: int = 64 * 1024 + 1024,
+    msg_size: int = 64,
+    samples: int = 80,
+    depth: int = 2,
+    seed: int = 0,
+) -> OffsetSweepResult:
+    """Figure 8: alternate (base, base + delta) and record ULI per delta.
+
+    The base sits deep inside the MR (so the pair stays in-bounds) and
+    *mid-segment* rather than on a 2 KB boundary: the delta at which
+    consecutive reads start crossing descriptor segments then differs
+    from the absolute sweep's, which is exactly the paper's point that
+    absolute and relative offsets have distinct effects.
+    """
+    spec = spec if spec is not None else cx4()
+    if deltas is None:
+        deltas = list(range(0, 4096, 32))
+    stats = [
+        _measure_pair(spec, base_offset, base_offset + delta,
+                      msg_size, samples, depth, seed)
+        for delta in deltas
+    ]
+    return OffsetSweepResult(
+        offsets=tuple(int(d) for d in deltas),
+        stats=tuple(stats),
+        msg_size=msg_size,
+        mode="relative",
+    )

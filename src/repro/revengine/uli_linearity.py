@@ -1,0 +1,75 @@
+"""ULI linearity: Lat_total = k * (len_sq + 1) + C (footnotes 7-8).
+
+The paper justifies the ULI metric by showing that total latency grows
+linearly in the send-queue length with Pearson correlation 0.9998 and a
+negligible intercept.  This module re-derives that fit on the simulated
+RNIC.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import pearson
+from repro.host.cluster import Cluster
+from repro.rnic.spec import RNICSpec, cx4
+from repro.sim.units import MEBIBYTE
+from repro.telemetry.uli import ProbeTarget, ULIProbe
+
+
+@dataclasses.dataclass(frozen=True)
+class LinearityResult:
+    """Fit of mean Lat_total against queue length."""
+
+    depths: tuple[int, ...]
+    mean_latencies: tuple[float, ...]
+    slope_k: float
+    intercept_c: float
+    pearson_r: float
+
+    @property
+    def relative_intercept(self) -> float:
+        """|C| as a fraction of the latency at the largest depth —
+        the paper's "C can be neglected"."""
+        return abs(self.intercept_c) / max(self.mean_latencies)
+
+
+def measure_linearity(
+    spec: Optional[RNICSpec] = None,
+    depths: Sequence[int] = (8, 12, 16, 24, 32, 48, 64),
+    msg_size: int = 64,
+    samples_per_depth: int = 150,
+    seed: int = 0,
+) -> LinearityResult:
+    """Measure mean Lat_total at several queue depths and fit a line.
+
+    Depths start high enough that the send queue (not the wire RTT) is
+    the bottleneck — the "stable traffic case" of footnote 7.
+    """
+    if len(depths) < 3:
+        raise ValueError("need at least three depths for a meaningful fit")
+    spec_factory = spec if spec is not None else cx4()
+    means = []
+    for depth in depths:
+        cluster = Cluster(seed=seed)
+        server = cluster.add_host("server", spec=spec_factory)
+        client = cluster.add_host("client", spec=spec_factory)
+        conn = cluster.connect(client, server, max_send_wr=depth)
+        mr = server.reg_mr(2 * MEBIBYTE)
+        probe = ULIProbe(conn, [ProbeTarget(mr, 0, msg_size)], depth=depth)
+        uli = probe.measure(samples_per_depth, warmup=2 * depth)
+        # ULI * (len_sq + 1) recovers Lat_total; len_sq = depth - 1
+        means.append(float(uli.mean()) * depth)
+    x = np.asarray(depths, dtype=np.float64)  # len_sq + 1
+    y = np.asarray(means)
+    slope, intercept = np.polyfit(x, y, 1)
+    return LinearityResult(
+        depths=tuple(int(d) for d in depths),
+        mean_latencies=tuple(float(m) for m in means),
+        slope_k=float(slope),
+        intercept_c=float(intercept),
+        pearson_r=pearson(x, y),
+    )

@@ -1,0 +1,42 @@
+"""The RNIC microarchitectural model (Figure 3 of the paper).
+
+The model reproduces the contention points Ragnar exploits:
+
+* ``spec`` — per-device parameter sheets for ConnectX-4/5/6 (Table III),
+  plus the calibrated microarchitectural constants;
+* ``caches`` — set-associative LRU caches used for the MPT/MTT (also the
+  substrate of the Pythia baseline);
+* ``translation`` — the Translation & Protection Unit whose banked,
+  alignment- and history-sensitive service time is the *offset effect*
+  (Key Finding 4, Figures 5–8);
+* ``station`` / ``pipeline`` — FIFO service stations composing the Tx/Rx
+  processing paths of Figure 3;
+* ``bandwidth`` — the fluid-flow contention allocator reproducing the
+  Grain-I/II priority phenomena (Key Findings 1–3, Figure 4);
+* ``rnic`` — the composed device, a verbs :class:`~repro.verbs.Engine`.
+"""
+
+from repro.rnic.spec import PCIeSpec, RNICSpec, cx4, cx5, cx6, get_spec, SPEC_REGISTRY
+from repro.rnic.caches import SetAssocCache
+from repro.rnic.translation import TranslationUnit
+from repro.rnic.station import ServiceStation
+from repro.rnic.counters import NICCounters
+from repro.rnic.bandwidth import BandwidthAllocator, FluidFlow
+from repro.rnic.rnic import RNIC
+
+__all__ = [
+    "PCIeSpec",
+    "RNICSpec",
+    "cx4",
+    "cx5",
+    "cx6",
+    "get_spec",
+    "SPEC_REGISTRY",
+    "SetAssocCache",
+    "TranslationUnit",
+    "ServiceStation",
+    "NICCounters",
+    "BandwidthAllocator",
+    "FluidFlow",
+    "RNIC",
+]

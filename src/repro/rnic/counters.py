@@ -1,0 +1,75 @@
+"""ethtool-style NIC counters.
+
+These are the observables of the reverse-engineering methodology
+(Section IV-A quotes ``ethtool`` bps/pps counters) and the inputs of the
+Grain-I..III defenses: per-traffic-class byte/packet totals and
+per-opcode totals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+
+from repro.verbs.enums import Opcode
+
+
+@dataclasses.dataclass
+class DirectionCounters:
+    """Byte/packet totals for one direction (tx or rx)."""
+
+    bytes: int = 0
+    packets: int = 0
+
+    def record(self, nbytes: int, npackets: int = 1) -> None:
+        self.bytes += nbytes
+        self.packets += npackets
+
+
+class NICCounters:
+    """Aggregate, per-traffic-class, and per-opcode counters."""
+
+    def __init__(self, num_traffic_classes: int = 8) -> None:
+        self.num_traffic_classes = num_traffic_classes
+        self.tx = DirectionCounters()
+        self.rx = DirectionCounters()
+        self.tx_per_tc = [DirectionCounters() for _ in range(num_traffic_classes)]
+        self.rx_per_tc = [DirectionCounters() for _ in range(num_traffic_classes)]
+        self.per_opcode: dict[Opcode, int] = defaultdict(int)
+        #: RC retransmissions (ethtool's rnr/transport retry counters)
+        self.retransmits = 0
+
+    def _check_tc(self, tc: int) -> int:
+        if not 0 <= tc < self.num_traffic_classes:
+            raise ValueError(
+                f"traffic class {tc} out of range 0..{self.num_traffic_classes - 1}"
+            )
+        return tc
+
+    def record_tx(self, nbytes: int, tc: int = 0, opcode: Opcode | None = None) -> None:
+        self.tx.record(nbytes)
+        self.tx_per_tc[self._check_tc(tc)].record(nbytes)
+        if opcode is not None:
+            self.per_opcode[opcode] += 1
+
+    def record_rx(self, nbytes: int, tc: int = 0) -> None:
+        self.rx.record(nbytes)
+        self.rx_per_tc[self._check_tc(tc)].record(nbytes)
+
+    def snapshot(self) -> dict:
+        """A flat dict of totals, shaped like ``ethtool -S`` output."""
+        snap = {
+            "tx_bytes": self.tx.bytes,
+            "tx_packets": self.tx.packets,
+            "rx_bytes": self.rx.bytes,
+            "rx_packets": self.rx.packets,
+            "retransmits": self.retransmits,
+        }
+        for tc in range(self.num_traffic_classes):
+            snap[f"tx_prio{tc}_bytes"] = self.tx_per_tc[tc].bytes
+            snap[f"tx_prio{tc}_packets"] = self.tx_per_tc[tc].packets
+            snap[f"rx_prio{tc}_bytes"] = self.rx_per_tc[tc].bytes
+            snap[f"rx_prio{tc}_packets"] = self.rx_per_tc[tc].packets
+        for opcode, count in self.per_opcode.items():
+            snap[f"op_{opcode.value.lower()}"] = count
+        return snap

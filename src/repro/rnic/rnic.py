@@ -1,0 +1,329 @@
+"""The composed RNIC: a verbs engine backed by the Figure 3 datapath.
+
+Every posted WQE traverses a chain of discrete-event stages:
+
+requester side                      responder side
+--------------                      --------------
+1. doorbell (MMIO)                  5. RxPU parse
+2. PCIe DMA: WQE fetch + payload    6. Translation & Protection Unit
+3. TxPU processing                  7. PCIe DMA to/from host memory
+4. wire serialization  --------->   8. response via TxPU (Tx arbiter)
+                                    9. wire serialization
+10. RxPU + CQE DMA     <---------
+11. completion (CQE into the CQ)
+
+Stages 5–8 run on the *responder's* stations, which both clients of a
+server share — that shared occupancy is the volatile channel.  Bulk
+fluid flows (see :mod:`repro.rnic.bandwidth`) additionally load the
+stations via background utilization.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.fabric.network import Link, Network
+from repro.rnic.bandwidth import BandwidthAllocator, FluidFlow
+from repro.rnic.counters import NICCounters
+from repro.rnic.spec import RNICSpec, cx5
+from repro.rnic.station import ServiceStation
+from repro.rnic.translation import TranslationUnit
+from repro.sim.kernel import Simulator
+from repro.verbs.engine import Engine, execute_data_movement, resolve_remote_qp
+from repro.verbs.enums import WCStatus
+from repro.verbs.errors import RemoteAccessError
+from repro.verbs.wr import SendWR
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.verbs.qp import QueuePair
+
+#: RoCE path MTU used to split large messages into packets.
+MTU = 4096
+
+
+class RNIC(Engine):
+    """One simulated RNIC, usable as a verbs engine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: Optional[RNICSpec] = None,
+        name: str = "rnic0",
+        network: Optional[Network] = None,
+        link: Optional["Link"] = None,
+    ) -> None:
+        self.sim = sim
+        self.spec = spec if spec is not None else cx5()
+        self.name = name
+        self.network = network
+        if network is not None:
+            network.attach(self, link)
+        rng = sim.random.stream(f"tpu.{name}")
+        self.translation = TranslationUnit(self.spec, rng=rng)
+        self.pcie = ServiceStation(f"{name}.pcie")
+        self.txpu = ServiceStation(f"{name}.txpu")
+        self.rxpu = ServiceStation(f"{name}.rxpu")
+        self.wire_tx = ServiceStation(f"{name}.wire_tx")
+        self.counters = NICCounters()
+        self.allocator = BandwidthAllocator(self.spec)
+        self._fluid_flows: dict[int, FluidFlow] = {}
+        self._fluid_alloc: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Engine interface
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def _transit_ns(self, dst: "RNIC") -> float:
+        if self.network is None or dst is self:
+            return 0.0
+        return self.network.transit_ns(self, dst)
+
+    def _packets(self, payload: int) -> int:
+        return max(1, (payload + MTU - 1) // MTU)
+
+    def _wire_ns(self, payload: int) -> float:
+        """Serialization time of a message including per-packet headers."""
+        npkt = self._packets(payload)
+        total_bytes = payload + npkt * self.spec.header_bytes
+        return total_bytes * 8.0 * 1e9 / self.spec.line_rate_bps
+
+    def post_send_batch(self, qp: "QueuePair", wrs: list[SendWR]) -> None:
+        """Doorbell batching: one MMIO doorbell launches the whole WQE
+        list; each WQE then flows through the pipeline individually."""
+        for index, wr in enumerate(wrs):
+            self.post_send(qp, wr, _ring_doorbell=(index == 0))
+
+    def post_send(self, qp: "QueuePair", wr: SendWR,
+                  _ring_doorbell: bool = True) -> None:
+        """Launch the WQE through the discrete pipeline."""
+        sim = self.sim
+        spec = self.spec
+        wr.post_time = sim.now
+        remote_qp = resolve_remote_qp(qp, wr)
+        responder: RNIC = remote_qp.context.engine  # type: ignore[assignment]
+        if not isinstance(responder, RNIC):
+            raise TypeError(
+                "remote QP's context is not backed by an RNIC engine"
+            )
+        tc = qp.traffic_class
+        request_payload = wr.wire_request_bytes
+        response_payload = wr.wire_response_bytes
+
+        # resolve the remote MR geometry once; protection is enforced by
+        # execute_data_movement at the data stage
+        mr_key = wr.rkey
+        offset = 0
+        if wr.opcode.is_one_sided:
+            try:
+                mr = remote_qp.context.mr_by_rkey(wr.rkey)
+                offset = wr.remote_addr - mr.addr
+            except RemoteAccessError:
+                offset = 0
+
+        # reliability state: RC retries on frame loss; the responder's
+        # duplicate detection makes re-executed operations idempotent
+        # (crucial for atomics), modelled by caching the first
+        # execution's status
+        loss_rng = sim.random.stream(f"loss.{self.name}")
+        loss_out = (self.network.loss_probability(self, responder)
+                    if self.network is not None else 0.0)
+        loss_back = (self.network.loss_probability(responder, self)
+                     if self.network is not None else 0.0)
+        attempts = [0]
+        executed_status: list[Optional[WCStatus]] = [None]
+
+        def stage_retry() -> None:
+            attempts[0] += 1
+            if attempts[0] > spec.retry_count:
+                qp.complete_send(wr, WCStatus.RETRY_EXC_ERR, sim.now)
+                return
+            self.counters.retransmits += 1
+            stage_fetch()
+
+        def stage_fetch() -> None:
+            # WQE fetch (64 B) plus gather of any request payload: the
+            # DMA engine is occupied for the transfer, and the message
+            # additionally waits out the fixed TLP round-trip latency.
+            # Congestion from bulk flows stretches both: the engine by
+            # the M/G/1 inflation, the round trip by queueing at the
+            # root complex (modelled as 1 + utilization).
+            #
+            # Inline posts are the classic fast path: the CPU writes
+            # WQE+payload through MMIO (a posted write), so there is no
+            # DMA read round trip at all.
+            congestion = 1.0 + self.pcie.background_utilization
+            if wr.inline:
+                occupancy = spec.pcie.dma_occupancy_ns(64 + request_payload)
+                finish = self.pcie.admit(sim.now, occupancy)
+                sim.schedule_at(finish, stage_txpu)
+                return
+            occupancy = spec.pcie.dma_occupancy_ns(64 + request_payload)
+            finish = self.pcie.admit(sim.now, occupancy)
+            round_trip = spec.pcie.tlp_latency_ns * congestion
+            sim.schedule_at(finish + round_trip, stage_txpu)
+
+        def stage_txpu() -> None:
+            finish = self.txpu.admit(sim.now, spec.txpu_ns)
+            sim.schedule_at(finish, stage_wire_out)
+
+        def stage_wire_out() -> None:
+            wire_ns = self._wire_ns(request_payload)
+            finish = self.wire_tx.admit(sim.now, wire_ns)
+            npkt = self._packets(request_payload)
+            nbytes = request_payload + npkt * spec.header_bytes
+            self.counters.record_tx(nbytes, tc=tc, opcode=wr.opcode)
+            if not qp.qp_type.acks_requests and not wr.opcode.response_carries_payload:
+                # unreliable transports are fire-and-forget: the local
+                # completion fires at send time; a lost frame silently
+                # drops the remote effect
+                sim.schedule_at(finish, stage_complete, WCStatus.SUCCESS)
+                if loss_out > 0.0 and loss_rng.random() < loss_out:
+                    return
+                sim.schedule_at(
+                    finish + self._transit_ns(responder), stage_responder_rx
+                )
+                return
+            if loss_out > 0.0 and loss_rng.random() < loss_out:
+                # request frame lost: the RC retransmission timer fires
+                sim.schedule_at(finish + spec.retry_timeout_ns, stage_retry)
+                return
+            sim.schedule_at(finish + self._transit_ns(responder), stage_responder_rx)
+
+        def stage_responder_rx() -> None:
+            npkt = self._packets(request_payload)
+            nbytes = request_payload + npkt * spec.header_bytes
+            responder.counters.record_rx(nbytes, tc=tc)
+            finish = responder.rxpu.admit(sim.now, responder.spec.rxpu_ns)
+            sim.schedule_at(finish, stage_translate)
+
+        def stage_translate() -> None:
+            if wr.opcode.is_one_sided:
+                finish, _ = responder.translation.admit(
+                    sim.now, mr_key, offset, wr.length
+                )
+            else:
+                finish = sim.now
+            sim.schedule_at(finish, stage_data)
+
+        def stage_data() -> None:
+            if executed_status[0] is None:
+                executed_status[0] = execute_data_movement(qp, wr)
+            status = executed_status[0]
+            if wr.opcode.is_atomic:
+                dma_bytes = 16  # 8 B read + 8 B write
+            else:
+                dma_bytes = wr.length
+            pcie = responder.spec.pcie
+            finish = responder.pcie.admit(sim.now, pcie.dma_occupancy_ns(dma_bytes))
+            # host-read DMAs (read/atomic responses) wait the TLP
+            # round trip — stretched by congestion; posted writes
+            # complete at the engine
+            if wr.opcode.response_carries_payload or wr.opcode.is_atomic:
+                round_trip = pcie.tlp_latency_ns * (
+                    1.0 + responder.pcie.background_utilization
+                )
+                rspec = responder.spec
+                if rspec.ddio_enabled:
+                    # DMA from the LLC when resident, bimodal otherwise
+                    rng = sim.random.stream(f"ddio.{responder.name}")
+                    if rng.random() < rspec.ddio_hit_rate:
+                        round_trip -= rspec.ddio_saving_ns
+                    else:
+                        round_trip += rspec.ddio_miss_penalty_ns
+                finish += round_trip
+            if not qp.qp_type.acks_requests and not wr.opcode.response_carries_payload:
+                # unreliable transports: no response flow, and the local
+                # completion already fired at send time
+                return
+            sim.schedule_at(finish, stage_response, status)
+
+        def stage_response(status: WCStatus) -> None:
+            finish = responder.txpu.admit(sim.now, responder.spec.txpu_ns)
+            sim.schedule_at(finish, stage_wire_back, status)
+
+        def stage_wire_back(status: WCStatus) -> None:
+            wire_ns = responder._wire_ns(response_payload)
+            finish = responder.wire_tx.admit(sim.now, wire_ns)
+            npkt = responder._packets(response_payload)
+            nbytes = response_payload + npkt * responder.spec.header_bytes
+            responder.counters.record_tx(nbytes, tc=tc)
+            if loss_back > 0.0 and loss_rng.random() < loss_back:
+                # ACK/response frame lost: requester times out and
+                # resends; the responder's replay cache answers without
+                # re-executing
+                sim.schedule_at(finish + spec.retry_timeout_ns, stage_retry)
+                return
+            sim.schedule_at(
+                finish + responder._transit_ns(self), stage_requester_rx, status
+            )
+
+        def stage_requester_rx(status: WCStatus) -> None:
+            npkt = responder._packets(response_payload)
+            nbytes = response_payload + npkt * self.spec.header_bytes
+            self.counters.record_rx(nbytes, tc=tc)
+            finish = self.rxpu.admit(sim.now, spec.rxpu_ns)
+            cqe = self.pcie.admit(finish, spec.cqe_write_ns)
+            sim.schedule_at(cqe, stage_complete, status)
+
+        def stage_complete(status: WCStatus) -> None:
+            qp.complete_send(wr, status, sim.now)
+
+        sim.schedule(spec.doorbell_ns if _ring_doorbell else 0.0, stage_fetch)
+
+    # ------------------------------------------------------------------
+    # Fluid-flow layer
+    # ------------------------------------------------------------------
+    @property
+    def fluid_flows(self) -> list[FluidFlow]:
+        return list(self._fluid_flows.values())
+
+    def add_fluid_flow(self, flow: FluidFlow) -> None:
+        """Register a bulk flow contending on this NIC."""
+        if flow.flow_id in self._fluid_flows:
+            raise ValueError(f"flow {flow.flow_id} already registered")
+        self._fluid_flows[flow.flow_id] = flow
+        self._reallocate()
+
+    def remove_fluid_flow(self, flow: FluidFlow) -> None:
+        if flow.flow_id not in self._fluid_flows:
+            raise ValueError(f"flow {flow.flow_id} not registered")
+        del self._fluid_flows[flow.flow_id]
+        self._reallocate()
+
+    def update_fluid_flow(self, flow: FluidFlow) -> None:
+        """Recompute allocations after a registered flow's parameters
+        changed in place (e.g. a policer capped its demand)."""
+        if flow.flow_id not in self._fluid_flows:
+            raise ValueError(f"flow {flow.flow_id} not registered")
+        self._reallocate()
+
+    def configure_ets(self, weights: Optional[dict[int, float]]) -> None:
+        """Apply an ETS (DWRR) configuration — the ``mlnx_qos`` call of
+        the paper's setup.  ``None`` removes the configuration."""
+        self.allocator = BandwidthAllocator(self.spec, ets_weights=weights)
+        if self._fluid_flows:
+            self._reallocate()
+
+    def fluid_bandwidth(self, flow: FluidFlow) -> float:
+        """Currently allocated goodput of a registered flow (bps)."""
+        try:
+            return self._fluid_alloc[flow.flow_id]
+        except KeyError:
+            raise ValueError(f"flow {flow.flow_id} not registered") from None
+
+    def _reallocate(self) -> None:
+        flows = list(self._fluid_flows.values())
+        self._fluid_alloc = self.allocator.allocate(flows)
+        util = self.allocator.utilizations(flows) if flows else {
+            "pcie": 0.0, "wire": 0.0, "pu": 0.0, "translation": 0.0,
+        }
+        self.pcie.set_background_utilization(util["pcie"])
+        self.wire_tx.set_background_utilization(util["wire"])
+        self.rxpu.set_background_utilization(util["pu"])
+        self.txpu.set_background_utilization(util["pu"])
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<RNIC {self.name} spec={self.spec.name}>"

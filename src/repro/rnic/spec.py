@@ -1,0 +1,226 @@
+"""Per-device parameter sheets.
+
+Line rates and PCIe interfaces follow Table III of the paper; the
+microarchitectural constants (processing latencies, translation-unit
+geometry, cache sizes) are calibrated so that the reverse-engineering
+microbenchmarks of Section IV reproduce the paper's qualitative shapes:
+unloaded small-read RTT of a few microseconds, ULI effects of tens to
+hundreds of nanoseconds, and channel bandwidths ordered
+CX-6 > CX-5 > CX-4.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.sim.units import gbps
+
+
+@dataclasses.dataclass(frozen=True)
+class PCIeSpec:
+    """The host interface of the RNIC.
+
+    ``efficiency`` folds TLP/DLLP framing overhead into a usable-rate
+    factor; ``tlp_latency_ns`` is the fixed round-trip cost of one DMA
+    transaction; ``max_payload`` splits large DMAs into multiple TLPs.
+    """
+
+    generation: int
+    lanes: int
+    raw_rate_bps: float
+    tlp_latency_ns: float
+    max_payload: int = 256
+    efficiency: float = 0.78
+    issue_overhead_ns: float = 25.0  # DMA-engine occupancy per TLP
+
+    @property
+    def usable_rate_bps(self) -> float:
+        return self.raw_rate_bps * self.efficiency
+
+    def dma_occupancy_ns(self, nbytes: int) -> float:
+        """How long one DMA *occupies* the engine: wire transfer plus a
+        small per-TLP issue cost.  The fixed TLP round-trip latency is
+        NOT included — the engine pipelines outstanding TLPs, so that
+        latency delays the message without serializing the engine."""
+        if nbytes <= 0:
+            return 0.0
+        ntlp = (nbytes + self.max_payload - 1) // self.max_payload
+        transfer = nbytes * 8.0 * 1e9 / self.usable_rate_bps
+        return ntlp * self.issue_overhead_ns + transfer
+
+    def dma_time_ns(self, nbytes: int) -> float:
+        """End-to-end latency of one DMA (fixed TLP cost + occupancy)."""
+        if nbytes <= 0:
+            return 0.0
+        return self.tlp_latency_ns + self.dma_occupancy_ns(nbytes)
+
+
+def _pcie_gen3_x8() -> PCIeSpec:
+    # 8 GT/s x8 with 128b/130b -> ~63 Gbps raw
+    return PCIeSpec(generation=3, lanes=8, raw_rate_bps=gbps(63.0), tlp_latency_ns=450.0)
+
+
+def _pcie_gen4_x16() -> PCIeSpec:
+    # 16 GT/s x16 -> ~252 Gbps raw
+    return PCIeSpec(generation=4, lanes=16, raw_rate_bps=gbps(252.0), tlp_latency_ns=350.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class RNICSpec:
+    """Everything the simulator needs to know about one RNIC model."""
+
+    name: str
+    line_rate_bps: float
+    pcie: PCIeSpec
+
+    # --- fixed datapath latencies (ns) -------------------------------
+    doorbell_ns: float = 150.0          # MMIO doorbell write
+    wqe_fetch_ns: float = 0.0           # folded into PCIe DMA of the WQE
+    txpu_ns: float = 120.0              # Tx processing unit per WQE
+    rxpu_ns: float = 100.0              # Rx processing unit per packet
+    cqe_write_ns: float = 120.0         # CQE DMA (posted write, cheaper)
+    wire_propagation_ns: float = 200.0  # fiber + PHY each direction
+    switch_ns: float = 300.0            # one store-and-forward hop
+    header_bytes: int = 58              # RoCEv2 L2+IP+UDP+BTH+ICRC
+
+    # --- translation & protection unit (the offset effect) -----------
+    tpu_base_ns: float = 300.0          # hit-path service time
+    tpu_banks: int = 32                 # banks, addressed by 64 B lines
+    tpu_line_bytes: int = 64            # bank interleave granularity
+    tpu_segment_bytes: int = 2048       # descriptor-segment granularity
+    tpu_bank_busy_ns: float = 180.0     # bank occupancy per access
+    tpu_sub8_penalty_ns: float = 90.0   # non-8B-aligned address
+    tpu_sub64_penalty_ns: float = 45.0  # 8B-aligned but not 64B-aligned
+    tpu_segment_miss_ns: float = 140.0  # new 2 KB descriptor segment
+    tpu_segment_wave_ns: float = 25.0   # periodic in-segment component
+    tpu_mr_switch_ns: float = 220.0     # MPT context switch between MRs
+    tpu_same_line_lock_ns: float = 120.0  # back-to-back hits on one line
+
+    # --- on-NIC caches ------------------------------------------------
+    mpt_cache_entries: int = 512        # MR contexts (Pythia's target)
+    mpt_cache_ways: int = 4
+    mpt_miss_ns: float = 900.0          # fetch MPT entry from host ICM
+    mtt_cache_entries: int = 2048
+    mtt_cache_ways: int = 8
+    mtt_miss_ns: float = 700.0
+
+    # --- message-rate limits (fluid layer) ----------------------------
+    max_pps_tx: float = 90e6            # Tx PU packet-rate ceiling
+    max_pps_rx: float = 110e6           # Rx PU packet-rate ceiling
+    per_qp_mps: float = 6e6             # single-QP sustainable msg rate
+    noc_lanes: int = 2                  # parallel NoC datapaths
+
+    # --- RC transport reliability --------------------------------------
+    #: Retransmission timer and retry budget (``ibv_modify_qp``'s
+    #: timeout/retry_cnt).  RoCE fabrics are near-lossless, so these
+    #: only matter on links with injected loss.
+    retry_timeout_ns: float = 16_000.0
+    retry_count: int = 7
+
+    # --- DDIO (Data Direct I/O) ---------------------------------------
+    # The paper's Grain-III/IV setup disables DDIO (TABLE IV) to
+    # stabilize measurements.  When enabled, payload DMA hits the LLC
+    # most of the time (faster) but misses add a bimodal penalty —
+    # extra measurement variance, which is exactly why they turned it
+    # off.  Disabled by default to mirror the paper's configuration.
+    ddio_enabled: bool = False
+    ddio_hit_rate: float = 0.8
+    ddio_saving_ns: float = 120.0
+    ddio_miss_penalty_ns: float = 60.0
+
+    # --- noise ---------------------------------------------------------
+    jitter_frac: float = 0.04           # lognormal-ish service jitter
+    spike_prob: float = 0.01            # occasional host/PCIe stall
+    spike_ns: float = 400.0
+
+    def wire_bytes(self, payload: int) -> int:
+        """On-wire size of one packet carrying ``payload`` bytes."""
+        return payload + self.header_bytes
+
+    def serialize_ns(self, payload: int) -> float:
+        return self.wire_bytes(payload) * 8.0 * 1e9 / self.line_rate_bps
+
+
+def cx4() -> RNICSpec:
+    """ConnectX-4: 25 Gbps, PCIe 3.0 x8 (Table III)."""
+    return RNICSpec(
+        name="CX-4",
+        line_rate_bps=gbps(25.0),
+        pcie=_pcie_gen3_x8(),
+        tpu_base_ns=550.0,
+        tpu_bank_busy_ns=330.0,
+        tpu_sub8_penalty_ns=160.0,
+        tpu_sub64_penalty_ns=80.0,
+        tpu_segment_miss_ns=260.0,
+        tpu_segment_wave_ns=45.0,
+        tpu_mr_switch_ns=420.0,
+        tpu_same_line_lock_ns=220.0,
+        txpu_ns=220.0,
+        rxpu_ns=180.0,
+        mpt_cache_entries=256,
+        mpt_cache_ways=4,
+        max_pps_tx=35e6,
+        max_pps_rx=45e6,
+        per_qp_mps=3e6,
+    )
+
+
+def cx5() -> RNICSpec:
+    """ConnectX-5: 100 Gbps, PCIe 3.0 x8 (Table III)."""
+    return RNICSpec(
+        name="CX-5",
+        line_rate_bps=gbps(100.0),
+        pcie=_pcie_gen3_x8(),
+        tpu_base_ns=300.0,
+        tpu_bank_busy_ns=180.0,
+        tpu_sub8_penalty_ns=90.0,
+        tpu_sub64_penalty_ns=45.0,
+        tpu_segment_miss_ns=140.0,
+        tpu_segment_wave_ns=25.0,
+        tpu_mr_switch_ns=230.0,
+        tpu_same_line_lock_ns=120.0,
+        txpu_ns=120.0,
+        rxpu_ns=100.0,
+        mpt_cache_entries=512,
+        mpt_cache_ways=4,
+        max_pps_tx=90e6,
+        max_pps_rx=110e6,
+        per_qp_mps=6e6,
+    )
+
+
+def cx6() -> RNICSpec:
+    """ConnectX-6: 200 Gbps, PCIe 4.0 x16 (Table III)."""
+    return RNICSpec(
+        name="CX-6",
+        line_rate_bps=gbps(200.0),
+        pcie=_pcie_gen4_x16(),
+        tpu_base_ns=210.0,
+        tpu_bank_busy_ns=130.0,
+        tpu_sub8_penalty_ns=65.0,
+        tpu_sub64_penalty_ns=32.0,
+        tpu_segment_miss_ns=100.0,
+        tpu_segment_wave_ns=18.0,
+        tpu_mr_switch_ns=160.0,
+        tpu_same_line_lock_ns=85.0,
+        txpu_ns=90.0,
+        rxpu_ns=75.0,
+        mpt_cache_entries=1024,
+        mpt_cache_ways=8,
+        max_pps_tx=160e6,
+        max_pps_rx=200e6,
+        per_qp_mps=10e6,
+    )
+
+
+SPEC_REGISTRY = {"CX-4": cx4, "CX-5": cx5, "CX-6": cx6}
+
+
+def get_spec(name: str) -> RNICSpec:
+    """Look up a spec by name (``"CX-4"``, ``"CX-5"``, ``"CX-6"``)."""
+    try:
+        return SPEC_REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown RNIC {name!r}; known: {sorted(SPEC_REGISTRY)}"
+        ) from None

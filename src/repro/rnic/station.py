@@ -1,0 +1,82 @@
+"""Generic FIFO service stations.
+
+Every stage of Figure 3's processing path that is not the translation
+unit (Tx/Rx PUs, PCIe DMA engines, wire serializers, arbiter slots) is a
+:class:`ServiceStation`: a single server with a ``busy_until`` horizon.
+Requests arriving while the server is busy queue behind it — this
+queueing is precisely the volatile channel's transmission medium.
+
+Stations also accept a *background utilization* in [0, 1) contributed by
+fluid-layer bulk flows (see :mod:`repro.rnic.bandwidth`); discrete
+requests are slowed by the standard ``1 / (1 - u)`` M/G/1 inflation so
+that heavy bulk traffic visibly lengthens probe latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: Cap on fluid-layer utilization as seen by discrete requests: even a
+#: saturating bulk flow leaves the probe with a bounded (5x) slowdown,
+#: since NICs arbitrate DMA fairly rather than starving small requests.
+MAX_BACKGROUND_UTILIZATION = 0.8
+
+
+class ServiceStation:
+    """A single-server FIFO queue with deterministic service times."""
+
+    def __init__(self, name: str, rng: Optional[np.random.Generator] = None) -> None:
+        self.name = name
+        self.rng = rng
+        self._busy_until = 0.0
+        self._background = 0.0
+        self.served = 0
+        self.busy_ns = 0.0
+        self.wait_ns = 0.0
+
+    @property
+    def background_utilization(self) -> float:
+        return self._background
+
+    def set_background_utilization(self, utilization: float) -> None:
+        """Fluid-layer coupling: fraction of this station consumed by
+        bulk flows.  Clamped below 1 to keep service times finite."""
+        if utilization < 0.0:
+            raise ValueError(f"utilization must be >= 0, got {utilization}")
+        self._background = min(utilization, MAX_BACKGROUND_UTILIZATION)
+
+    @property
+    def inflation(self) -> float:
+        """Service-time multiplier induced by background load."""
+        return 1.0 / (1.0 - self._background)
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    def admit(self, now: float, service_ns: float) -> float:
+        """Serve a request arriving at ``now``; returns finish time."""
+        if service_ns < 0:
+            raise ValueError(f"service time must be non-negative, got {service_ns}")
+        start = max(now, self._busy_until)
+        effective = service_ns * self.inflation
+        finish = start + effective
+        self._busy_until = finish
+        self.served += 1
+        self.busy_ns += effective
+        self.wait_ns += start - now
+        return finish
+
+    def reset(self) -> None:
+        self._busy_until = 0.0
+        self.served = 0
+        self.busy_ns = 0.0
+        self.wait_ns = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Station {self.name} busy_until={self._busy_until:.0f} "
+            f"served={self.served} bg={self._background:.2f}>"
+        )

@@ -1,0 +1,232 @@
+"""The Translation & Protection Unit (TPU).
+
+This is the dark box of Figure 3 whose behaviour Section IV-C reverse
+engineers, and the physical origin of the *offset effect* (Key Finding
+4) in our model.  The unit is shared by every inbound one-sided request
+on the responder NIC, which makes it a volatile channel: while two
+clients' requests are interleaved in its pipeline, each client's
+latency depends on the other's addresses.
+
+Modelled structure:
+
+* a **single-issue pipeline** — requests serialize through the unit, so
+  slow requests inflate the queueing delay of everyone behind them;
+* **banks** interleaved at 64 B line granularity (``tpu_banks`` banks,
+  so bank = (offset // 64) % banks repeats every
+  ``banks * 64 = 2048 B`` — the paper's 2048 B periodicity);
+* a single-segment **descriptor prefetch buffer** of 2 KB — switching
+  segments between consecutive requests costs a refill (the *relative*
+  offset effect of Figure 8);
+* **alignment fix-ups** — addresses not 8 B-aligned pay a shift/merge
+  penalty, 8 B- but not 64 B-aligned addresses a smaller one (the
+  stable drops at 8 B and 64 B multiples in Figures 6–7);
+* an **MPT context register** — consecutive requests to different MRs
+  reload the MR context (the inter-MR effect of Figure 5);
+* **MPT/MTT caches** — set-associative LRU; misses fetch from host ICM
+  over PCIe.  These caches are what Pythia attacks; Ragnar's effects
+  above survive even with 100 % cache hit rates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Hashable, Optional
+
+import numpy as np
+
+from repro.rnic.caches import SetAssocCache
+from repro.rnic.spec import RNICSpec
+
+
+@dataclasses.dataclass
+class TranslationStats:
+    """Aggregate counters exposed for tests and Grain-III telemetry."""
+
+    requests: int = 0
+    mr_switches: int = 0
+    segment_misses: int = 0
+    unaligned8: int = 0
+    unaligned64: int = 0
+    bank_wait_ns: float = 0.0
+    busy_ns: float = 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class TranslationBreakdown:
+    """Per-request latency decomposition (for tests/inspection)."""
+
+    bank_wait: float
+    base: float
+    alignment: float
+    segment: float
+    wave: float
+    mr_switch: float
+    line_lock: float
+    cache_miss: float
+    jitter: float
+
+    @property
+    def service(self) -> float:
+        return (
+            self.base
+            + self.alignment
+            + self.segment
+            + self.wave
+            + self.mr_switch
+            + self.line_lock
+            + self.cache_miss
+            + self.jitter
+        )
+
+    @property
+    def total(self) -> float:
+        return self.bank_wait + self.service
+
+
+class TranslationUnit:
+    """Stateful service-time model of the TPU."""
+
+    def __init__(self, spec: RNICSpec, rng: Optional[np.random.Generator] = None) -> None:
+        self.spec = spec
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.mpt_cache = SetAssocCache(spec.mpt_cache_entries, spec.mpt_cache_ways)
+        self.mtt_cache = SetAssocCache(spec.mtt_cache_entries, spec.mtt_cache_ways)
+        self._bank_busy = np.zeros(spec.tpu_banks, dtype=np.float64)
+        self._pipe_busy = 0.0
+        self._last_mr: Optional[Hashable] = None
+        self._last_segment: Optional[tuple] = None
+        self._last_line: Optional[tuple] = None
+        self.stats = TranslationStats()
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def bank_of(self, offset: int) -> int:
+        """Bank index of the 64 B line containing ``offset``."""
+        return (offset // self.spec.tpu_line_bytes) % self.spec.tpu_banks
+
+    def segment_of(self, offset: int) -> int:
+        """2 KB descriptor-segment index of ``offset``."""
+        return offset // self.spec.tpu_segment_bytes
+
+    def lines_touched(self, offset: int, size: int) -> range:
+        first = offset // self.spec.tpu_line_bytes
+        last = (offset + max(size, 1) - 1) // self.spec.tpu_line_bytes
+        return range(first, last + 1)
+
+    # ------------------------------------------------------------------
+    # Latency components
+    # ------------------------------------------------------------------
+    def _alignment_penalty(self, offset: int) -> float:
+        if offset % 8:
+            self.stats.unaligned8 += 1
+            return self.spec.tpu_sub8_penalty_ns
+        if offset % self.spec.tpu_line_bytes:
+            self.stats.unaligned64 += 1
+            return self.spec.tpu_sub64_penalty_ns
+        return 0.0
+
+    def _wave(self, offset: int) -> float:
+        """Deterministic in-segment component with 2048 B period.
+
+        A raised-cosine bump: descriptor lookups near the middle of a
+        segment walk further from the segment base."""
+        pos = (offset % self.spec.tpu_segment_bytes) / self.spec.tpu_segment_bytes
+        return self.spec.tpu_segment_wave_ns * 0.5 * (1.0 - math.cos(2.0 * math.pi * pos))
+
+    def _jitter(self) -> float:
+        spec = self.spec
+        jitter = float(self.rng.normal(0.0, spec.jitter_frac * spec.tpu_base_ns))
+        if self.rng.random() < spec.spike_prob:
+            jitter += float(self.rng.exponential(spec.spike_ns))
+        return max(jitter, -0.5 * spec.tpu_base_ns)
+
+    # ------------------------------------------------------------------
+    # The unit itself
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        now: float,
+        mr_key: Hashable,
+        offset: int,
+        size: int,
+        want_breakdown: bool = False,
+    ) -> tuple[float, Optional[TranslationBreakdown]]:
+        """Process one request arriving at ``now``.
+
+        Returns ``(finish_time, breakdown)``; ``breakdown`` is None
+        unless requested.  State (pipeline, banks, history registers,
+        caches) is updated.
+        """
+        spec = self.spec
+        self.stats.requests += 1
+
+        # bank availability over the touched lines
+        lines = self.lines_touched(offset, size)
+        banks = [line % spec.tpu_banks for line in lines]
+        bank_ready = float(max(self._bank_busy[b] for b in banks))
+        start = max(now, self._pipe_busy, bank_ready)
+        bank_wait = start - max(now, self._pipe_busy)
+        self.stats.bank_wait_ns += bank_wait
+
+        # cache lookups
+        cache_miss = 0.0
+        if not self.mpt_cache.access(("mpt", mr_key)):
+            cache_miss += spec.mpt_miss_ns
+        segment = self.segment_of(offset)
+        if not self.mtt_cache.access(("mtt", mr_key, segment)):
+            cache_miss += spec.mtt_miss_ns
+
+        # history-dependent components
+        mr_switch = 0.0
+        if self._last_mr is not None and mr_key != self._last_mr:
+            mr_switch = spec.tpu_mr_switch_ns
+            self.stats.mr_switches += 1
+        self._last_mr = mr_key
+
+        segment_pen = 0.0
+        seg_key = (mr_key, segment)
+        if self._last_segment is not None and seg_key != self._last_segment:
+            segment_pen = spec.tpu_segment_miss_ns
+            self.stats.segment_misses += 1
+        self._last_segment = seg_key
+
+        line_lock = 0.0
+        line_key = (mr_key, lines[0])
+        if self._last_line is not None and line_key == self._last_line:
+            line_lock = spec.tpu_same_line_lock_ns
+        self._last_line = line_key
+
+        breakdown = TranslationBreakdown(
+            bank_wait=bank_wait,
+            base=spec.tpu_base_ns,
+            alignment=self._alignment_penalty(offset),
+            segment=segment_pen,
+            wave=self._wave(offset),
+            mr_switch=mr_switch,
+            line_lock=line_lock,
+            cache_miss=cache_miss,
+            jitter=self._jitter(),
+        )
+        service = breakdown.service
+        finish = start + service
+        self.stats.busy_ns += service
+
+        # the pipeline frees up before the banks do: bank occupancy
+        # (descriptor writeback) extends past issue
+        self._pipe_busy = finish
+        busy_until = finish + spec.tpu_bank_busy_ns
+        for bank in banks:
+            if self._bank_busy[bank] < busy_until:
+                self._bank_busy[bank] = busy_until
+
+        return finish, (breakdown if want_breakdown else None)
+
+    def reset_history(self) -> None:
+        """Clear history registers and bank occupancy (not the caches)."""
+        self._bank_busy[:] = 0.0
+        self._pipe_busy = 0.0
+        self._last_mr = None
+        self._last_segment = None
+        self._last_line = None

@@ -1,0 +1,40 @@
+"""Side-channel Ragnar attacks on real applications (Section VI).
+
+* :mod:`fingerprint` — Algorithm 1: fingerprinting a distributed
+  database's shuffle/join operations from the attacker's own bandwidth
+  (Grain-II attack, Figure 12);
+* :mod:`snoop` — recovering a victim's access address in disaggregated
+  memory from ULI traces over an observation set (Grain-IV attack,
+  Figure 13), with both a full-simulation capture path and a fast
+  translation-unit-level synthesizer for dataset generation;
+* :mod:`dataset` — builds the classifier dataset and evaluates the
+  ResNet-1d / nearest-centroid recovery accuracy.
+"""
+
+from repro.side.fingerprint import (
+    FingerprintResult,
+    ShuffleJoinFingerprinter,
+    calibrate_templates,
+)
+from repro.side.snoop import (
+    CANDIDATE_OFFSETS,
+    OBSERVATION_OFFSETS,
+    SnoopConfig,
+    TraceSynthesizer,
+    capture_trace_sim,
+)
+from repro.side.dataset import SnoopDataset, evaluate_classifier, nearest_centroid
+
+__all__ = [
+    "FingerprintResult",
+    "ShuffleJoinFingerprinter",
+    "calibrate_templates",
+    "CANDIDATE_OFFSETS",
+    "OBSERVATION_OFFSETS",
+    "SnoopConfig",
+    "TraceSynthesizer",
+    "capture_trace_sim",
+    "SnoopDataset",
+    "evaluate_classifier",
+    "nearest_centroid",
+]

@@ -1,0 +1,198 @@
+"""Algorithm 1: fingerprinting shuffle/join from attacker bandwidth.
+
+The attacker keeps a small monitored flow against the database server's
+NIC, maintains a sliding window of bandwidth samples (``BW_History``),
+and matches the window against pre-calibrated shuffle/join templates
+with normalized cross-correlation (``CorrelationDetect``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.correlation import CorrelationDetector
+from repro.analysis.signal import zscore
+from repro.apps.shuffle_join import (
+    DatabaseNode,
+    JoinOperator,
+    OperatorSchedule,
+    ShuffleOperator,
+)
+from repro.host.cluster import Cluster
+from repro.rnic.bandwidth import FluidFlow
+from repro.rnic.spec import RNICSpec, cx5
+from repro.sim.units import MILLISECONDS
+from repro.telemetry.monitor import BandwidthMonitor
+from repro.verbs.enums import Opcode
+
+SAMPLE_INTERVAL_NS = MILLISECONDS
+
+
+def _attach_attacker(cluster: Cluster, node: DatabaseNode) -> BandwidthMonitor:
+    """The attacker's small monitored flow + sampler (Algorithm 1
+    lines 1-6)."""
+    flow = FluidFlow(
+        opcode=Opcode.RDMA_READ, msg_size=65536, qp_num=1,
+        demand_bps=200e6, label="attacker-monitor",
+    )
+    node.host.rnic.add_fluid_flow(flow)
+    monitor = BandwidthMonitor(
+        cluster.sim, node.host.rnic, flow, interval_ns=SAMPLE_INTERVAL_NS
+    )
+    monitor.start()
+    return monitor
+
+
+def _extract_core(name: str, values: np.ndarray) -> np.ndarray:
+    """Cut a duration-invariant core out of a calibration trace.
+
+    Real deployments run shuffles of varying sizes and joins of varying
+    round counts (the paper notes the observed pattern "slightly
+    deviates ... under different round times and configurations"), so
+    the template must be a *sub-pattern* any instance contains: the
+    entry edge plus a plateau slice for shuffle, two tooth periods for
+    join.
+    """
+    baseline = float(np.median(values[:4]))
+    low = values < 0.8 * baseline
+    if not low.any():
+        raise ValueError(f"calibration trace for {name!r} shows no dip")
+    first = int(np.argmax(low))
+    lead = max(first - 3, 0)
+    if name == "shuffle":
+        return values[lead : first + 16]
+    # join: span the first two falling edges plus one more period
+    edges = [
+        i for i in range(1, len(low))
+        if low[i] and not low[i - 1]
+    ]
+    if len(edges) >= 3:
+        end = edges[2]
+    else:
+        end = min(first + 24, len(values))
+    return values[lead:end]
+
+
+def calibrate_templates(
+    spec: Optional[RNICSpec] = None,
+    shuffle: Optional[ShuffleOperator] = None,
+    join: Optional[JoinOperator] = None,
+    seed: int = 0,
+) -> dict[str, np.ndarray]:
+    """Record reference fingerprints by replaying each operator alone
+    (the attacker can do this against its own scratch deployment)."""
+    spec = spec if spec is not None else cx5()
+    shuffle = shuffle if shuffle is not None else ShuffleOperator()
+    join = join if join is not None else JoinOperator()
+    templates: dict[str, np.ndarray] = {}
+    for name, operator in (("shuffle", shuffle), ("join", join)):
+        cluster = Cluster(seed=seed)
+        host = cluster.add_host("calib", spec=spec)
+        node = DatabaseNode(cluster, host)
+        monitor = _attach_attacker(cluster, node)
+        lead = 4 * MILLISECONDS
+        end = operator.run(node, lead)
+        cluster.run_for(end + 4 * MILLISECONDS)
+        core = _extract_core(name, np.asarray(monitor.values))
+        templates[name] = zscore(core)
+    return templates
+
+
+@dataclasses.dataclass(frozen=True)
+class FingerprintResult:
+    """Detections vs ground truth for one monitored run."""
+
+    detections: tuple[tuple[str, float], ...]   # (pattern, detect time ns)
+    truth: tuple[tuple[str, float, float], ...]  # (pattern, start, end)
+    samples: tuple[tuple[float, float], ...]
+
+    @property
+    def matched(self) -> list[tuple[str, bool]]:
+        """Per ground-truth operator: was it detected inside (or right
+        after) its window?"""
+        out = []
+        for name, start, end in self.truth:
+            hit = any(
+                det_name == name and start <= t <= end + (end - start)
+                for det_name, t in self.detections
+            )
+            out.append((name, hit))
+        return out
+
+    @property
+    def detection_rate(self) -> float:
+        matched = self.matched
+        if not matched:
+            return 0.0
+        return sum(1 for _, hit in matched if hit) / len(matched)
+
+    @property
+    def false_positives(self) -> int:
+        """Detections that match no ground-truth window."""
+        count = 0
+        for det_name, t in self.detections:
+            ok = any(
+                det_name == name and start <= t <= end + (end - start)
+                for name, start, end in self.truth
+            )
+            if not ok:
+                count += 1
+        return count
+
+
+class ShuffleJoinFingerprinter:
+    """The online attacker of Algorithm 1."""
+
+    def __init__(
+        self,
+        templates: dict[str, np.ndarray],
+        threshold: float = 0.75,
+        spec: Optional[RNICSpec] = None,
+    ) -> None:
+        self.spec = spec if spec is not None else cx5()
+        self.detector = CorrelationDetector(templates, threshold=threshold)
+        window = max(len(t) for t in templates.values())
+        self.window_samples = int(window * 1.25)
+
+    def run(self, schedule_builder, seed: int = 0,
+            tail_ns: float = 10 * MILLISECONDS) -> FingerprintResult:
+        """Replay a victim schedule while detecting patterns online.
+
+        ``schedule_builder(node) -> OperatorSchedule`` installs the
+        victim workload on the shared server.
+        """
+        cluster = Cluster(seed=seed)
+        host = cluster.add_host("dbserver", spec=self.spec)
+        node = DatabaseNode(cluster, host)
+        monitor = _attach_attacker(cluster, node)
+        schedule: OperatorSchedule = schedule_builder(node)
+        truth = schedule.truth()
+        horizon = max(end for _, _, end in truth) + tail_ns
+
+        detections: list[tuple[str, float]] = []
+        cooldown_until: dict[str, float] = {}
+
+        def detect_cycle() -> None:
+            window = monitor.values[-self.window_samples:]
+            now = cluster.sim.now
+            if len(window) >= self.window_samples // 2:
+                pattern = self.detector.detect(zscore(np.asarray(window)))
+                if pattern is not None and now >= cooldown_until.get(pattern, 0.0):
+                    detections.append((pattern, now))
+                    # one detection per operator instance
+                    cooldown_until[pattern] = now + self.window_samples * \
+                        SAMPLE_INTERVAL_NS * 0.8
+            if now < horizon:
+                cluster.sim.schedule(5 * SAMPLE_INTERVAL_NS, detect_cycle)
+
+        cluster.sim.schedule(self.window_samples * SAMPLE_INTERVAL_NS / 2,
+                             detect_cycle)
+        cluster.run_for(horizon)
+        return FingerprintResult(
+            detections=tuple(detections),
+            truth=tuple(truth),
+            samples=tuple((s.time, s.value) for s in monitor.samples),
+        )

@@ -1,0 +1,206 @@
+"""Snooping on disaggregated memory with the Grain-IV offset effect
+(Section VI-B, Figure 13).
+
+Setup: a 1 KB shared file in the memory server; the victim repeatedly
+reads one 64 B record from the *Candidate Set* (17 offsets, 0–1024 B);
+the attacker measures ULI while reading each address of the
+*Observation Set* (257 offsets, 0–1024 B at 4 B steps) N times.  The
+victim's in-flight requests occupy the translation unit's bank and line
+for its record, so the attacker's ULI is elevated exactly where the
+observation offset collides with the victim's — the average ULIs form a
+trace whose bump position encodes the secret address.
+
+Two capture paths:
+
+* :func:`capture_trace_sim` — the full discrete-event pipeline with a
+  real Sherman victim (used for Figure 13(a) demo traces and to
+  validate the fast path);
+* :class:`TraceSynthesizer` — drives the *same* ``TranslationUnit``
+  model directly, interleaving victim/attacker admissions without the
+  rest of the pipeline.  ~50x faster; used to build the
+  6720-trace classifier dataset.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.sherman import ShermanClient, ShermanMemoryServer
+from repro.covert.lockstep import PipelinedReader
+from repro.host.cluster import Cluster
+from repro.rnic.spec import RNICSpec, cx5
+from repro.rnic.translation import TranslationUnit
+from repro.telemetry.uli import ProbeTarget
+
+#: Candidate Set: 17 offsets, 0 B to 1024 B (the victim's secret).
+CANDIDATE_OFFSETS = tuple(range(0, 1025, 64))
+#: Observation Set: 257 samples, 0 B to 1024 B.
+OBSERVATION_OFFSETS = tuple(range(0, 1025, 4))
+
+assert len(CANDIDATE_OFFSETS) == 17
+assert len(OBSERVATION_OFFSETS) == 257
+
+
+@dataclasses.dataclass(frozen=True)
+class SnoopConfig:
+    """Attack parameters (Section VI-B's setup)."""
+
+    read_size: int = 64            # both parties use 64 B RDMA Reads
+    probes_per_point: int = 5      # N measurements per observation offset
+    file_size: int = 1024          # the shared file
+    #: Fraction of probe slots in which the victim's request is actually
+    #: in flight (its access loop has think time); < 1 blurs the traces
+    #: the way a real victim does.  Calibrated with ambient_rate so the
+    #: ResNet lands near the paper's 95.6 % (see EXPERIMENTS.md).
+    victim_duty: float = 0.4
+    #: Probability of an unrelated tenant's request interleaving.
+    ambient_rate: float = 0.25
+    #: Spacing of the observation set in bytes.  The paper samples every
+    #: 4 B (257 points over 0-1024 B); coarser sets trade attack time
+    #: for trace resolution (see ``bench_ablation_observation_density``).
+    observation_step: int = 4
+
+    def __post_init__(self) -> None:
+        if self.probes_per_point <= 0:
+            raise ValueError("need at least one probe per point")
+        if not 0.0 < self.victim_duty <= 1.0:
+            raise ValueError("victim duty must be in (0, 1]")
+        if not 0.0 <= self.ambient_rate < 1.0:
+            raise ValueError("ambient rate must be in [0, 1)")
+        if self.observation_step <= 0 or 1024 % self.observation_step:
+            raise ValueError("observation step must divide 1024")
+
+    @property
+    def observation_offsets(self) -> tuple[int, ...]:
+        return tuple(range(0, 1025, self.observation_step))
+
+
+class TraceSynthesizer:
+    """Fast trace generation at the translation-unit level.
+
+    Interleaves victim, attacker and ambient admissions into one
+    :class:`TranslationUnit` — the same stateful model the full
+    pipeline uses, so bank conflicts, line locks, alignment penalties
+    and jitter all behave identically; only the (trace-invariant)
+    constant pipeline stages are omitted.
+    """
+
+    def __init__(self, spec: Optional[RNICSpec] = None,
+                 config: Optional[SnoopConfig] = None,
+                 seed: int = 0) -> None:
+        self.spec = spec if spec is not None else cx5()
+        self.config = config if config is not None else SnoopConfig()
+        self.rng = np.random.default_rng(seed)
+
+    def trace(self, victim_offset: int, file_base: int = 0) -> np.ndarray:
+        """One 257-dimensional attacker trace for a victim reading
+        ``file_base + victim_offset``."""
+        if victim_offset not in CANDIDATE_OFFSETS:
+            raise ValueError(
+                f"victim offset {victim_offset} not in the candidate set"
+            )
+        cfg = self.config
+        unit = TranslationUnit(
+            self.spec,
+            rng=np.random.default_rng(self.rng.integers(2**63)),
+        )
+        mr_key = "shared-file"
+        now = 0.0
+        offsets = cfg.observation_offsets
+        trace = np.empty(len(offsets))
+        gap = 50.0  # attacker pacing between its own requests (ns)
+        for index, obs_offset in enumerate(offsets):
+            samples = np.empty(cfg.probes_per_point)
+            for probe in range(cfg.probes_per_point):
+                if self.rng.random() < cfg.victim_duty:
+                    now, _ = unit.admit(
+                        now, mr_key, file_base + victim_offset, cfg.read_size
+                    )
+                if self.rng.random() < cfg.ambient_rate:
+                    stray = 64 * int(self.rng.integers(0, 32768))
+                    now, _ = unit.admit(now, "ambient-mr", stray, cfg.read_size)
+                arrival = now + gap
+                finish, _ = unit.admit(
+                    arrival, mr_key, file_base + obs_offset, cfg.read_size
+                )
+                samples[probe] = finish - arrival
+                now = finish
+            trace[index] = samples.mean()
+        return trace
+
+    def labelled_traces(self, per_class: int,
+                        file_base: int = 0) -> tuple[np.ndarray, np.ndarray]:
+        """``per_class`` traces for every candidate; returns (X, y) with
+        X of shape (17*per_class, len(observation_offsets))."""
+        if per_class <= 0:
+            raise ValueError("per_class must be positive")
+        xs, ys = [], []
+        for label, offset in enumerate(CANDIDATE_OFFSETS):
+            for _ in range(per_class):
+                xs.append(self.trace(offset, file_base=file_base))
+                ys.append(label)
+        return np.asarray(xs), np.asarray(ys)
+
+
+def capture_trace_sim(
+    victim_offset: int,
+    spec: Optional[RNICSpec] = None,
+    config: Optional[SnoopConfig] = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Full-pipeline trace capture against a live Sherman deployment.
+
+    Builds MS + victim CS + attacker CS; seeds a Sherman tree whose
+    first leaf is the shared 1 KB file; the victim hammers its record
+    with :meth:`ShermanClient.read_entry_at`-equivalent 64 B reads via a
+    pipelined reader while the attacker sweeps the observation set.
+    """
+    if victim_offset not in CANDIDATE_OFFSETS:
+        raise ValueError(f"victim offset {victim_offset} not a candidate")
+    spec = spec if spec is not None else cx5()
+    config = config if config is not None else SnoopConfig()
+    cluster = Cluster(seed=seed)
+    ms = cluster.add_host("ms", spec=spec)
+    victim_host = cluster.add_host("victim-cs", spec=spec)
+    attacker_host = cluster.add_host("attacker-cs", spec=spec)
+
+    server = ShermanMemoryServer(ms)
+    setup_conn = cluster.connect(victim_host, server.host)
+    setup_client = ShermanClient(setup_conn, server, client_id=1)
+    for key in range(1, 16):  # fill the first leaf: the "file index"
+        setup_client.insert(key, b"record")
+    file_node, _ = setup_client.locate_entry(1)
+
+    victim_conn = cluster.connect(victim_host, server.host, max_send_wr=2)
+    attacker_conn = cluster.connect(attacker_host, server.host, max_send_wr=2)
+    rng = cluster.sim.random.stream("snoop.victim")
+
+    victim_target = ProbeTarget(server.mr, file_node + victim_offset,
+                                config.read_size)
+    victim = PipelinedReader(victim_conn, lambda: victim_target, depth=2)
+    victim.start()
+
+    offsets = config.observation_offsets
+    trace = np.empty(len(offsets))
+    for index, obs_offset in enumerate(offsets):
+        # keep two probes in flight so the attacker's requests stay
+        # interleaved with the victim's in the shared translation unit
+        for _ in range(2):
+            attacker_conn.post_read(server.mr, file_node + obs_offset,
+                                    config.read_size)
+        ulis = []
+        while len(ulis) < config.probes_per_point:
+            wc = attacker_conn.await_completions(1)[0]
+            if not wc.ok:
+                raise RuntimeError(f"probe failed: {wc.status}")
+            ulis.append(wc.unit_latency_increase)
+            attacker_conn.post_read(server.mr, file_node + obs_offset,
+                                    config.read_size)
+        # drain the tail probes before moving to the next offset
+        attacker_conn.await_completions(2)
+        trace[index] = float(np.mean(ulis))
+    victim.stop()
+    return trace

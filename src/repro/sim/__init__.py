@@ -1,0 +1,51 @@
+"""Discrete-event simulation kernel used by every substrate in ``repro``.
+
+The kernel is deliberately small: a monotonic nanosecond clock, a binary
+heap of scheduled callbacks, cooperative generator-based processes, and
+seedable random streams.  All RNIC, fabric and host models are built as
+callbacks/processes on top of this module.
+"""
+
+from repro.sim.event import Event, EventQueue
+from repro.sim.kernel import Simulator, SimulationError
+from repro.sim.process import Process, Timeout, Waiter
+from repro.sim.random import RandomStreams
+from repro.sim.units import (
+    GBPS,
+    GIBIBYTE,
+    KIBIBYTE,
+    MEBIBYTE,
+    MICROSECONDS,
+    MILLISECONDS,
+    NANOSECONDS,
+    SECONDS,
+    bits_to_bytes,
+    bytes_to_bits,
+    gbps,
+    rate_to_ns_per_byte,
+    transfer_time_ns,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "SimulationError",
+    "Process",
+    "Timeout",
+    "Waiter",
+    "RandomStreams",
+    "NANOSECONDS",
+    "MICROSECONDS",
+    "MILLISECONDS",
+    "SECONDS",
+    "KIBIBYTE",
+    "MEBIBYTE",
+    "GIBIBYTE",
+    "GBPS",
+    "gbps",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "rate_to_ns_per_byte",
+    "transfer_time_ns",
+]

@@ -1,0 +1,95 @@
+"""Event objects and the pending-event priority queue."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, priority, sequence)``.  The sequence
+    counter makes ordering deterministic for simultaneous events: two
+    events scheduled for the same instant fire in scheduling order.
+
+    An event may be *cancelled*; cancelled events stay in the heap (lazy
+    deletion) but are skipped when popped.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = 0,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+    def _key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._key() < other._key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.1f} #{self.seq} {name}{state}>"
+
+
+class EventQueue:
+    """Binary heap of :class:`Event` with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = 0,
+    ) -> Event:
+        event = Event(time, next(self._counter), callback, args, priority)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def clear(self) -> None:
+        self._heap.clear()

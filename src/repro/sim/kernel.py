@@ -1,0 +1,122 @@
+"""The simulation kernel: clock + event loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.event import Event, EventQueue
+from repro.sim.random import RandomStreams
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, etc.)."""
+
+
+class Simulator:
+    """A nanosecond-resolution discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator(seed=7)
+        sim.schedule(100.0, lambda: print("at t=100ns"))
+        sim.run()
+
+    The kernel is single-threaded and deterministic: equal-time events
+    fire in scheduling order, and all randomness flows through the named
+    streams of :class:`~repro.sim.random.RandomStreams`.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.random = RandomStreams(seed)
+        self._queue = EventQueue()
+        self._running = False
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        return self._queue.push(self.now + delay, callback, args, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r} < now={self.now!r}"
+            )
+        return self._queue.push(time, callback, args, priority)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:  # pragma: no cover - defensive
+            raise SimulationError("event queue time went backwards")
+        self.now = event.time
+        self._event_count += 1
+        event.callback(*event.args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or
+        ``max_events`` events have fired (whichever comes first).
+
+        When stopping at ``until``, the clock is advanced to exactly
+        ``until`` so samplers see a consistent end time.
+        """
+        self._running = True
+        fired = 0
+        try:
+            while self._running:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+
+    def stop(self) -> None:
+        """Stop a running :meth:`run` loop after the current event."""
+        self._running = False
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the queue (including cancelled)."""
+        return len(self._queue)
+
+    @property
+    def events_fired(self) -> int:
+        return self._event_count
+
+    def reset(self) -> None:
+        """Clear the queue and rewind the clock (random streams persist)."""
+        self._queue.clear()
+        self.now = 0.0
+        self._event_count = 0

@@ -1,0 +1,104 @@
+"""Generator-based cooperative processes on top of the event kernel.
+
+A process is a Python generator that yields *commands*:
+
+* ``Timeout(delay_ns)`` — resume after the given simulated delay;
+* ``Waiter()`` — park until some other code calls ``waiter.wake(value)``;
+  the woken value becomes the result of the ``yield``.
+
+This gives sequential-looking client code (post, wait for completion,
+measure, repeat) without hand-written callback chains.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.kernel import Simulator
+
+
+class Timeout:
+    """Yield from a process to sleep for ``delay`` nanoseconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"timeout delay must be non-negative, got {delay!r}")
+        self.delay = delay
+
+
+class Waiter:
+    """A one-shot rendezvous between a process and outside code.
+
+    The process yields the waiter; any other code later calls
+    :meth:`wake` with a value, which resumes the process with that value.
+    Waking an un-awaited waiter stores the value so a subsequent yield
+    returns immediately (no lost-wakeup race).
+    """
+
+    __slots__ = ("_process", "_value", "_fired", "_consumed")
+
+    def __init__(self) -> None:
+        self._process: Optional[Process] = None
+        self._value: Any = None
+        self._fired = False
+        self._consumed = False
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def wake(self, value: Any = None) -> None:
+        if self._fired:
+            raise RuntimeError("Waiter can only be woken once")
+        self._fired = True
+        self._value = value
+        if self._process is not None:
+            process, self._process = self._process, None
+            process._resume(self._value)
+
+
+class Process:
+    """Wraps a generator and steps it through the simulator."""
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self.finished = False
+        self.result: Any = None
+        sim.schedule(0.0, self._resume, None)
+
+    def _resume(self, value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            command = self._generator.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Timeout):
+            self.sim.schedule(command.delay, self._resume, None)
+        elif isinstance(command, Waiter):
+            if command._consumed:
+                raise RuntimeError("Waiter already awaited by a process")
+            command._consumed = True
+            if command._fired:
+                self.sim.schedule(0.0, self._resume, command._value)
+            else:
+                command._process = self
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {command!r}; "
+                "expected Timeout or Waiter"
+            )
+
+
+def spawn(sim: Simulator, generator: Generator, name: str = "") -> Process:
+    """Convenience wrapper: start ``generator`` as a process on ``sim``."""
+    return Process(sim, generator, name=name)

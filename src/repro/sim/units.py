@@ -1,0 +1,53 @@
+"""Time, size and rate units.
+
+The simulator clock is a float measured in **nanoseconds**.  Data rates
+are measured in **bits per second** to match how NIC line rates are
+quoted (e.g. a ConnectX-5 is "100 Gbps").
+"""
+
+from __future__ import annotations
+
+NANOSECONDS = 1.0
+MICROSECONDS = 1_000.0
+MILLISECONDS = 1_000_000.0
+SECONDS = 1_000_000_000.0
+
+KIBIBYTE = 1024
+MEBIBYTE = 1024 * 1024
+GIBIBYTE = 1024 * 1024 * 1024
+
+#: One gigabit per second, expressed in bits per second.
+GBPS = 1e9
+
+
+def gbps(value: float) -> float:
+    """Return ``value`` Gbps as bits per second."""
+    return value * GBPS
+
+
+def bytes_to_bits(nbytes: float) -> float:
+    """Convert a byte count to a bit count."""
+    return nbytes * 8.0
+
+
+def bits_to_bytes(nbits: float) -> float:
+    """Convert a bit count to a byte count."""
+    return nbits / 8.0
+
+
+def rate_to_ns_per_byte(rate_bps: float) -> float:
+    """Serialization cost of one byte at ``rate_bps``, in nanoseconds.
+
+    Raises ``ValueError`` for non-positive rates; a zero-rate link would
+    otherwise silently schedule events at ``inf`` and hang the simulation.
+    """
+    if rate_bps <= 0.0:
+        raise ValueError(f"rate must be positive, got {rate_bps!r}")
+    return 8.0 * SECONDS / rate_bps
+
+
+def transfer_time_ns(nbytes: float, rate_bps: float) -> float:
+    """Time to serialize ``nbytes`` at ``rate_bps``, in nanoseconds."""
+    if nbytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {nbytes!r}")
+    return nbytes * rate_to_ns_per_byte(rate_bps)

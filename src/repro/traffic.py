@@ -1,0 +1,217 @@
+"""Traffic generators: configurable tenants for experiments.
+
+Three client styles, all event-driven on the simulation kernel:
+
+* :class:`ClosedLoopClient` — keeps a fixed number of operations in
+  flight (think: a thread pool waiting on completions);
+* :class:`OpenLoopClient` — Poisson arrivals at a target rate,
+  independent of completions (think: external request load).  When the
+  send queue is full the arrival is counted as an *overrun* — the
+  classic open-loop overload signal;
+* :class:`TraceReplayClient` — replays an explicit (time, op) schedule.
+
+Operations are drawn from a :class:`WorkloadMix` of reads/writes with a
+size distribution, aimed at random aligned offsets of a target MR.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.host.cluster import RDMAConnection
+from repro.verbs.enums import Opcode
+from repro.verbs.errors import QueueFullError
+from repro.verbs.mr import MemoryRegion
+from repro.verbs.wr import WorkCompletion
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadMix:
+    """Weighted op mix over a target MR."""
+
+    read_fraction: float = 1.0
+    sizes: tuple[int, ...] = (64,)
+    size_weights: Optional[tuple[float, ...]] = None
+    align: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read fraction must be in [0, 1]")
+        if not self.sizes or any(s <= 0 for s in self.sizes):
+            raise ValueError("sizes must be positive")
+        if self.size_weights is not None:
+            if len(self.size_weights) != len(self.sizes):
+                raise ValueError("one weight per size required")
+            if not np.isclose(sum(self.size_weights), 1.0):
+                raise ValueError("size weights must sum to 1")
+        if self.align <= 0:
+            raise ValueError("alignment must be positive")
+
+    def draw(self, rng: np.random.Generator, mr: MemoryRegion
+             ) -> tuple[Opcode, int, int]:
+        """(opcode, offset, size) for one operation."""
+        opcode = (Opcode.RDMA_READ if rng.random() < self.read_fraction
+                  else Opcode.RDMA_WRITE)
+        size = int(rng.choice(self.sizes, p=self.size_weights))
+        span = mr.length - size
+        offset = self.align * int(rng.integers(0, span // self.align + 1))
+        return opcode, min(offset, span), size
+
+
+class _StatsMixin:
+    def __init__(self) -> None:
+        self.completed = 0
+        self.failed = 0
+        self.latencies: list[float] = []
+
+    def _record(self, wc: WorkCompletion) -> None:
+        if wc.ok:
+            self.completed += 1
+            self.latencies.append(wc.latency)
+        else:
+            self.failed += 1
+
+    @property
+    def mean_latency(self) -> float:
+        return float(np.mean(self.latencies)) if self.latencies else 0.0
+
+
+class ClosedLoopClient(_StatsMixin):
+    """Keeps ``depth`` operations outstanding."""
+
+    def __init__(self, conn: RDMAConnection, mr: MemoryRegion,
+                 mix: Optional[WorkloadMix] = None, depth: int = 4,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 1 <= depth <= conn.qp.cap.max_send_wr:
+            raise ValueError(f"depth {depth} outside the QP's send queue")
+        self.conn = conn
+        self.mr = mr
+        self.mix = mix if mix is not None else WorkloadMix()
+        self.depth = depth
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._running = False
+        if conn.cq.on_completion is not None:
+            raise RuntimeError("connection CQ already has a callback")
+        conn.cq.on_completion = self._on_completion
+
+    def _post_one(self) -> None:
+        opcode, offset, size = self.mix.draw(self.rng, self.mr)
+        if opcode is Opcode.RDMA_READ:
+            self.conn.post_read(self.mr, offset, size)
+        else:
+            self.conn.post_write(self.mr, offset, size)
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("client already running")
+        self._running = True
+        while self.conn.qp.outstanding_send < self.depth:
+            self._post_one()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _on_completion(self, wc: WorkCompletion) -> None:
+        self.conn.cq.poll(1)
+        self._record(wc)
+        if self._running and wc.ok:
+            self._post_one()
+
+
+class OpenLoopClient(_StatsMixin):
+    """Poisson arrivals at ``rate_per_sec``, regardless of completions."""
+
+    def __init__(self, conn: RDMAConnection, mr: MemoryRegion,
+                 rate_per_sec: float,
+                 mix: Optional[WorkloadMix] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if rate_per_sec <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.conn = conn
+        self.mr = mr
+        self.rate_per_sec = rate_per_sec
+        self.mix = mix if mix is not None else WorkloadMix()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.overruns = 0
+        self._running = False
+        if conn.cq.on_completion is not None:
+            raise RuntimeError("connection CQ already has a callback")
+        conn.cq.on_completion = self._on_completion
+
+    def _on_completion(self, wc: WorkCompletion) -> None:
+        self.conn.cq.poll(1)
+        self._record(wc)
+
+    def _interarrival_ns(self) -> float:
+        return float(self.rng.exponential(1e9 / self.rate_per_sec))
+
+    def _arrival(self) -> None:
+        if not self._running:
+            return
+        opcode, offset, size = self.mix.draw(self.rng, self.mr)
+        try:
+            if opcode is Opcode.RDMA_READ:
+                self.conn.post_read(self.mr, offset, size)
+            else:
+                self.conn.post_write(self.mr, offset, size)
+        except QueueFullError:
+            self.overruns += 1
+        self.conn.cluster.sim.schedule(self._interarrival_ns(), self._arrival)
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("client already running")
+        self._running = True
+        self.conn.cluster.sim.schedule(self._interarrival_ns(), self._arrival)
+
+    def stop(self) -> None:
+        self._running = False
+
+    @property
+    def offered(self) -> int:
+        return self.completed + self.failed + self.overruns \
+            + self.conn.qp.outstanding_send
+
+
+class TraceReplayClient(_StatsMixin):
+    """Replays an explicit schedule of operations.
+
+    The trace is a sequence of ``(time_ns, opcode, offset, size)``
+    tuples relative to :meth:`start`'s call time.
+    """
+
+    def __init__(self, conn: RDMAConnection, mr: MemoryRegion,
+                 trace: Sequence[tuple[float, Opcode, int, int]]) -> None:
+        super().__init__()
+        self.conn = conn
+        self.mr = mr
+        self.trace = sorted(trace, key=lambda entry: entry[0])
+        self.dropped = 0
+        if conn.cq.on_completion is not None:
+            raise RuntimeError("connection CQ already has a callback")
+        conn.cq.on_completion = self._on_completion
+
+    def _on_completion(self, wc: WorkCompletion) -> None:
+        self.conn.cq.poll(1)
+        self._record(wc)
+
+    def start(self) -> None:
+        sim = self.conn.cluster.sim
+        for time_ns, opcode, offset, size in self.trace:
+            sim.schedule(time_ns, self._fire, opcode, offset, size)
+
+    def _fire(self, opcode: Opcode, offset: int, size: int) -> None:
+        try:
+            if opcode is Opcode.RDMA_READ:
+                self.conn.post_read(self.mr, offset, size)
+            elif opcode is Opcode.RDMA_WRITE:
+                self.conn.post_write(self.mr, offset, size)
+            else:
+                raise ValueError(f"trace replay supports READ/WRITE, got {opcode}")
+        except QueueFullError:
+            self.dropped += 1

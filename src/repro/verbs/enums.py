@@ -1,0 +1,120 @@
+"""Enumerations mirroring libibverbs constants."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.Enum):
+    """RDMA work-request opcodes (subset relevant to Ragnar)."""
+
+    RDMA_READ = "RDMA_READ"
+    RDMA_WRITE = "RDMA_WRITE"
+    SEND = "SEND"
+    RECV = "RECV"
+    ATOMIC_FETCH_ADD = "ATOMIC_FETCH_ADD"
+    ATOMIC_CMP_SWP = "ATOMIC_CMP_SWP"
+
+    @property
+    def is_atomic(self) -> bool:
+        return self in (Opcode.ATOMIC_FETCH_ADD, Opcode.ATOMIC_CMP_SWP)
+
+    @property
+    def is_one_sided(self) -> bool:
+        """One-sided verbs bypass the remote CPU entirely."""
+        return self in (
+            Opcode.RDMA_READ,
+            Opcode.RDMA_WRITE,
+            Opcode.ATOMIC_FETCH_ADD,
+            Opcode.ATOMIC_CMP_SWP,
+        )
+
+    @property
+    def needs_remote_addr(self) -> bool:
+        return self.is_one_sided
+
+    @property
+    def carries_request_payload(self) -> bool:
+        """True if the request packet carries the message payload."""
+        return self in (Opcode.RDMA_WRITE, Opcode.SEND)
+
+    @property
+    def response_carries_payload(self) -> bool:
+        """True if the response packet carries the message payload."""
+        return self is Opcode.RDMA_READ
+
+
+class QPType(enum.Enum):
+    """Queue-pair transport types."""
+
+    RC = "RC"  # reliable connection (the paper's attacks use RC)
+    UC = "UC"  # unreliable connection
+    UD = "UD"  # unreliable datagram
+
+    @property
+    def supports_rdma_read(self) -> bool:
+        return self is QPType.RC
+
+    @property
+    def supports_atomics(self) -> bool:
+        return self is QPType.RC
+
+    @property
+    def acks_requests(self) -> bool:
+        """Reliable transports generate the ACK reverse flow (Figure 3)."""
+        return self is QPType.RC
+
+
+class QPState(enum.Enum):
+    """The verbs QP state machine (simplified: no SQD)."""
+
+    RESET = "RESET"
+    INIT = "INIT"
+    RTR = "RTR"  # ready to receive
+    RTS = "RTS"  # ready to send
+    ERR = "ERR"
+
+
+#: Legal QP state transitions (from -> allowed targets).
+QP_TRANSITIONS: dict[QPState, frozenset[QPState]] = {
+    QPState.RESET: frozenset({QPState.INIT, QPState.ERR}),
+    QPState.INIT: frozenset({QPState.RTR, QPState.RESET, QPState.ERR}),
+    QPState.RTR: frozenset({QPState.RTS, QPState.RESET, QPState.ERR}),
+    QPState.RTS: frozenset({QPState.RESET, QPState.ERR}),
+    QPState.ERR: frozenset({QPState.RESET}),
+}
+
+
+class AccessFlags(enum.IntFlag):
+    """MR access permissions (``IBV_ACCESS_*``)."""
+
+    NONE = 0
+    LOCAL_WRITE = 1
+    REMOTE_WRITE = 2
+    REMOTE_READ = 4
+    REMOTE_ATOMIC = 8
+
+    @classmethod
+    def all_remote(cls) -> "AccessFlags":
+        return cls.LOCAL_WRITE | cls.REMOTE_WRITE | cls.REMOTE_READ | cls.REMOTE_ATOMIC
+
+
+#: Access flag an opcode requires on the *remote* MR.
+REQUIRED_REMOTE_ACCESS: dict[Opcode, AccessFlags] = {
+    Opcode.RDMA_READ: AccessFlags.REMOTE_READ,
+    Opcode.RDMA_WRITE: AccessFlags.REMOTE_WRITE,
+    Opcode.ATOMIC_FETCH_ADD: AccessFlags.REMOTE_ATOMIC,
+    Opcode.ATOMIC_CMP_SWP: AccessFlags.REMOTE_ATOMIC,
+}
+
+
+class WCStatus(enum.Enum):
+    """Work-completion status codes (``IBV_WC_*``)."""
+
+    SUCCESS = "SUCCESS"
+    LOC_LEN_ERR = "LOC_LEN_ERR"
+    LOC_PROT_ERR = "LOC_PROT_ERR"
+    REM_ACCESS_ERR = "REM_ACCESS_ERR"
+    REM_INV_REQ_ERR = "REM_INV_REQ_ERR"
+    WR_FLUSH_ERR = "WR_FLUSH_ERR"
+    RETRY_EXC_ERR = "RETRY_EXC_ERR"

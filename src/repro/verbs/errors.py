@@ -1,0 +1,27 @@
+"""Exception hierarchy for the verbs layer."""
+
+from __future__ import annotations
+
+
+class VerbsError(Exception):
+    """Base class for all verbs-layer errors."""
+
+
+class ResourceError(VerbsError):
+    """Invalid resource creation/destruction (bad sizes, reuse, etc.)."""
+
+
+class RemoteAccessError(VerbsError):
+    """A one-sided operation violated the remote MR's bounds or flags."""
+
+
+class QueueFullError(VerbsError):
+    """Posting to a full SQ/RQ (``ENOMEM`` in libibverbs)."""
+
+
+class QPStateError(VerbsError):
+    """Operation illegal in the QP's current state, or bad transition."""
+
+
+class CQOverflowError(VerbsError):
+    """More outstanding completions than the CQ capacity."""

@@ -1,0 +1,46 @@
+"""Protection domains."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.verbs.errors import ResourceError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.verbs.context import Context
+
+
+class ProtectionDomain:
+    """A protection domain groups MRs and QPs that may interact.
+
+    QPs may only reference MRs in the same PD (the verbs containment
+    rule); the RNIC's Grain-III counters observe PD/QP/MR populations.
+    """
+
+    def __init__(self, context: "Context", handle: int) -> None:
+        self.context = context
+        self.handle = handle
+        self.mrs: list = []
+        self.qps: list = []
+        self._destroyed = False
+
+    @property
+    def destroyed(self) -> bool:
+        return self._destroyed
+
+    def destroy(self) -> None:
+        """Deallocate the PD. Fails while MRs/QPs still reference it."""
+        if self._destroyed:
+            raise ResourceError(f"PD {self.handle} already destroyed")
+        live_mrs = [mr for mr in self.mrs if not mr.destroyed]
+        live_qps = [qp for qp in self.qps if not qp.destroyed]
+        if live_mrs or live_qps:
+            raise ResourceError(
+                f"PD {self.handle} still has {len(live_mrs)} MRs and "
+                f"{len(live_qps)} QPs"
+            )
+        self._destroyed = True
+        self.context._release_pd(self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<PD handle={self.handle} mrs={len(self.mrs)} qps={len(self.qps)}>"

@@ -1,0 +1,58 @@
+"""Shared receive queues (``ibv_srq``).
+
+Server processes serving many clients post receive buffers once into an
+SRQ instead of per-QP — the standard way RPC servers scale their memory
+footprint.  Any QP created with ``srq=`` consumes inbound SENDs from
+the shared pool.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.verbs.errors import QueueFullError, ResourceError
+from repro.verbs.wr import RecvWR
+
+
+class SharedReceiveQueue:
+    """A receive-buffer pool shared across QPs."""
+
+    def __init__(self, capacity: int = 1024, handle: int = 0) -> None:
+        if capacity <= 0:
+            raise ResourceError(f"SRQ capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.handle = handle
+        self._buffers: deque[RecvWR] = deque()
+        self._destroyed = False
+        #: watermark telemetry: lowest fill level seen after any take
+        #: (servers alarm on it to refill in time); None until first use
+        self.low_watermark: int | None = None
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def destroyed(self) -> bool:
+        return self._destroyed
+
+    def post_recv(self, wr: RecvWR) -> None:
+        if self._destroyed:
+            raise ResourceError("post to destroyed SRQ")
+        if len(self._buffers) >= self.capacity:
+            raise QueueFullError(f"SRQ {self.handle} full ({self.capacity})")
+        self._buffers.append(wr)
+
+    def take(self) -> RecvWR:
+        """Engine-side: consume one buffer for an inbound SEND."""
+        if not self._buffers:
+            raise QueueFullError(f"SRQ {self.handle} empty (RNR)")
+        wr = self._buffers.popleft()
+        fill = len(self._buffers)
+        if self.low_watermark is None or fill < self.low_watermark:
+            self.low_watermark = fill
+        return wr
+
+    def destroy(self) -> None:
+        if self._destroyed:
+            raise ResourceError("SRQ already destroyed")
+        self._destroyed = True

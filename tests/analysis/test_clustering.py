@@ -1,0 +1,51 @@
+"""Unit tests for 1-D clustering / thresholding."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import otsu_threshold, two_means
+
+
+def bimodal(rng, low=100.0, high=200.0, n=500, sigma=10.0):
+    return np.concatenate([
+        rng.normal(low, sigma, n),
+        rng.normal(high, sigma, n),
+    ])
+
+
+def test_two_means_separates_bimodal():
+    rng = np.random.default_rng(1)
+    data = bimodal(rng)
+    low, high, threshold = two_means(data)
+    assert 90 < low < 110
+    assert 190 < high < 210
+    assert 130 < threshold < 170
+
+
+def test_two_means_constant_input():
+    low, high, threshold = two_means([5.0, 5.0, 5.0])
+    assert low == high == threshold == 5.0
+
+
+def test_two_means_needs_two_values():
+    with pytest.raises(ValueError):
+        two_means([1.0])
+
+
+def test_otsu_separates_bimodal():
+    rng = np.random.default_rng(2)
+    data = bimodal(rng)
+    threshold = otsu_threshold(data)
+    assert 120 < threshold < 180
+
+
+def test_otsu_agrees_with_two_means_roughly():
+    rng = np.random.default_rng(3)
+    data = bimodal(rng, low=0.0, high=1.0, sigma=0.05)
+    _, _, km = two_means(data)
+    ot = otsu_threshold(data)
+    assert abs(km - ot) < 0.2
+
+
+def test_otsu_constant_input():
+    assert otsu_threshold([2.0, 2.0]) == 2.0

@@ -1,0 +1,71 @@
+"""Unit tests for template correlation (Algorithm 1's detector)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CorrelationDetector,
+    normalized_cross_correlation,
+    sliding_correlation,
+)
+
+
+def test_ncc_self_is_one():
+    sig = np.array([1.0, 5.0, 2.0, 8.0])
+    assert normalized_cross_correlation(sig, sig) == pytest.approx(1.0)
+
+
+def test_ncc_inverted_is_minus_one():
+    sig = np.array([1.0, 5.0, 2.0, 8.0])
+    assert normalized_cross_correlation(sig, -sig) == pytest.approx(-1.0)
+
+
+def test_ncc_scale_invariant():
+    sig = np.array([1.0, 5.0, 2.0, 8.0])
+    assert normalized_cross_correlation(sig, 100 * sig + 7) == pytest.approx(1.0)
+
+
+def test_ncc_shape_mismatch():
+    with pytest.raises(ValueError):
+        normalized_cross_correlation([1.0, 2.0], [1.0, 2.0, 3.0])
+
+
+def test_sliding_correlation_peaks_at_embedding():
+    template = np.array([0.0, 5.0, 0.0, -5.0, 0.0])
+    signal = np.concatenate([np.zeros(10), template, np.zeros(10)])
+    scores = sliding_correlation(signal + 0.01, template)
+    assert int(np.argmax(scores)) == 10
+
+
+def test_detector_identifies_correct_pattern():
+    rng = np.random.default_rng(0)
+    plateau = np.concatenate([np.ones(5) * 10, np.ones(10) * 2, np.ones(5) * 10])
+    tooth = 10.0 - 8.0 * (np.arange(20) % 4 < 2)
+    detector = CorrelationDetector({"shuffle": plateau, "join": tooth}, threshold=0.5)
+
+    window = np.concatenate([np.ones(8) * 10, plateau + rng.normal(0, 0.3, 20)])
+    assert detector.detect(window) == "shuffle"
+
+    window = np.concatenate([np.ones(8) * 10, tooth + rng.normal(0, 0.3, 20)])
+    assert detector.detect(window) == "join"
+
+
+def test_detector_returns_none_below_threshold():
+    detector = CorrelationDetector({"x": np.array([1.0, -1.0, 1.0, -1.0])},
+                                   threshold=0.9)
+    flat = np.random.default_rng(1).normal(0, 1, 50)
+    # random noise occasionally correlates, so use a smooth window
+    assert detector.detect(np.linspace(0, 1, 50)) is None
+
+
+def test_detector_scores_diagnostics():
+    detector = CorrelationDetector({"a": np.array([1.0, 2.0, 3.0])})
+    scores = detector.scores(np.array([1.0, 2.0, 3.0, 4.0]))
+    assert scores["a"] == pytest.approx(1.0)
+
+
+def test_detector_validation():
+    with pytest.raises(ValueError):
+        CorrelationDetector({})
+    with pytest.raises(ValueError):
+        CorrelationDetector({"a": np.array([1.0, 2.0])}, threshold=0.0)

@@ -1,0 +1,96 @@
+"""Unit tests for periodicity detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    alignment_contrast,
+    autocorrelation,
+    dominant_periods,
+    power_of_two_score,
+)
+
+
+def test_autocorrelation_lag0_is_one():
+    acf = autocorrelation([1.0, 3.0, 2.0, 5.0])
+    assert acf[0] == pytest.approx(1.0)
+
+
+def test_autocorrelation_periodic_signal():
+    signal = np.tile([0.0, 1.0, 0.0, -1.0], 16)
+    acf = autocorrelation(signal)
+    assert acf[4] > 0.8   # strong peak at the true period
+    assert acf[2] < 0.0   # anti-phase at half period
+
+
+def test_dominant_periods_finds_true_period():
+    signal = np.tile([0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 0.0, 0.0], 32)
+    periods = dominant_periods(signal, step=1, top=3)
+    assert 8 in periods
+
+
+def test_dominant_periods_with_step_scaling():
+    # sweep sampled every 64 bytes; period of 2048 bytes = lag 32
+    signal = np.tile(np.sin(np.linspace(0, 2 * np.pi, 32, endpoint=False)), 8)
+    periods = dominant_periods(signal, step=64, top=2)
+    assert 2048 in periods
+
+
+def test_power_of_two_score():
+    signal = np.tile([1.0, 0.0], 64)
+    assert power_of_two_score(signal, step=1, period=2) > 0.9
+    assert power_of_two_score(signal, step=1, period=3) < 0.5
+
+
+def test_power_of_two_score_validation():
+    with pytest.raises(ValueError):
+        power_of_two_score([1.0, 2.0, 1.0, 2.0], step=3, period=4)
+    with pytest.raises(ValueError):
+        power_of_two_score([1.0, 2.0], step=1, period=10)
+
+
+def test_alignment_contrast_detects_aligned_drops():
+    offsets = np.arange(0, 256, 4)
+    values = np.where(offsets % 8 == 0, 100.0, 150.0)
+    contrast = alignment_contrast(values, offsets, 8)
+    assert contrast == pytest.approx(50.0)
+
+
+def test_alignment_contrast_requires_both_classes():
+    offsets = np.array([0, 8, 16])
+    with pytest.raises(ValueError):
+        alignment_contrast([1.0, 2.0, 3.0], offsets, 8)
+
+
+def test_periodogram_finds_dominant_period():
+    from repro.analysis import dominant_period_fft, periodogram
+
+    signal = np.tile(np.sin(np.linspace(0, 2 * np.pi, 32, endpoint=False)), 8)
+    assert dominant_period_fft(signal, step=64) == pytest.approx(2048.0)
+    periods, power = periodogram(signal, step=64)
+    assert periods.shape == power.shape
+    assert (power >= 0).all()
+
+
+def test_periodogram_validation():
+    from repro.analysis import periodogram
+
+    with pytest.raises(ValueError):
+        periodogram([1.0, 2.0])
+    with pytest.raises(ValueError):
+        periodogram([1.0, 2.0, 3.0, 4.0], step=0)
+
+
+def test_fft_and_autocorrelation_agree_on_sweep_data():
+    """Both period detectors must find the translation unit's 2048 B
+    structure in a real measured sweep."""
+    from repro.analysis import dominant_period_fft
+    from repro.revengine import absolute_offset_sweep
+    from repro.rnic import cx4
+
+    sweep = absolute_offset_sweep(
+        spec=cx4(), offsets=range(2048, 2048 + 8192, 128),
+        msg_size=64, samples=30,
+    )
+    fft_period = dominant_period_fft(sweep.means, step=128)
+    assert 1700 <= fft_period <= 2400

@@ -1,0 +1,61 @@
+"""Unit tests for signal helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fold, moving_average, normalize, zscore
+
+
+def test_moving_average_smooths():
+    noisy = np.array([0, 10, 0, 10, 0, 10], dtype=float)
+    smooth = moving_average(noisy, 2)
+    assert smooth.std() < noisy.std()
+    assert smooth.shape == noisy.shape
+
+
+def test_moving_average_window_one_is_identity():
+    arr = np.array([1.0, 5.0, 2.0])
+    assert (moving_average(arr, 1) == arr).all()
+
+
+def test_moving_average_bad_window():
+    with pytest.raises(ValueError):
+        moving_average([1.0], 0)
+
+
+def test_normalize_range():
+    out = normalize([5.0, 10.0, 15.0])
+    assert out.min() == 0.0
+    assert out.max() == 1.0
+    assert out[1] == pytest.approx(0.5)
+
+
+def test_normalize_constant_input():
+    out = normalize([3.0, 3.0, 3.0])
+    assert (out == 0.0).all()
+
+
+def test_zscore():
+    out = zscore([1.0, 2.0, 3.0])
+    assert out.mean() == pytest.approx(0.0)
+    assert out.std() == pytest.approx(1.0)
+
+
+def test_fold_recovers_periodic_pattern():
+    pattern = np.array([1.0, 1.0, 5.0, 5.0])
+    signal = np.tile(pattern, 8) + np.random.default_rng(0).normal(0, 0.1, 32)
+    folded = fold(signal, 4)
+    assert folded.shape == (4,)
+    assert folded[2] > folded[0] + 3.0
+
+
+def test_fold_partial_tail():
+    folded = fold([1.0, 2.0, 3.0, 10.0, 20.0], 3)
+    assert folded[0] == pytest.approx(5.5)   # (1+10)/2
+    assert folded[1] == pytest.approx(11.0)  # (2+20)/2
+    assert folded[2] == pytest.approx(3.0)   # only one occurrence
+
+
+def test_fold_bad_period():
+    with pytest.raises(ValueError):
+        fold([1.0], 0)

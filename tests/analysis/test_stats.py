@@ -1,0 +1,53 @@
+"""Unit tests for statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import pearson, percentile_band, summarize
+
+
+def test_summarize_basic():
+    stats = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert stats.mean == pytest.approx(3.0)
+    assert stats.count == 5
+    assert stats.p10 <= stats.mean <= stats.p90
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_percentile_band_default_10_90():
+    values = np.arange(101, dtype=float)
+    low, high = percentile_band(values)
+    assert low == pytest.approx(10.0)
+    assert high == pytest.approx(90.0)
+
+
+def test_percentile_band_bad_range():
+    with pytest.raises(ValueError):
+        percentile_band([1, 2, 3], low=90, high=10)
+
+
+def test_pearson_perfect_linear():
+    x = np.arange(10, dtype=float)
+    assert pearson(x, 3 * x + 1) == pytest.approx(1.0)
+    assert pearson(x, -2 * x) == pytest.approx(-1.0)
+
+
+def test_pearson_independent_near_zero():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=10000)
+    y = rng.normal(size=10000)
+    assert abs(pearson(x, y)) < 0.05
+
+
+def test_pearson_constant_rejected():
+    with pytest.raises(ValueError):
+        pearson([1, 1, 1], [1, 2, 3])
+
+
+def test_pearson_shape_mismatch():
+    with pytest.raises(ValueError):
+        pearson([1, 2], [1, 2, 3])

@@ -1,0 +1,108 @@
+"""Unit/integration tests for the RDMA KV store."""
+
+import pytest
+
+from repro.apps.kvstore import (
+    MAX_VALUE,
+    SLOT_SIZE,
+    KVStoreClient,
+    KVStoreServer,
+    build_kv_pair,
+)
+from repro.host import Cluster
+from repro.rnic import cx5
+
+
+@pytest.fixture
+def kv():
+    cluster = Cluster(seed=0)
+    server_host = cluster.add_host("server", spec=cx5())
+    client_host = cluster.add_host("client", spec=cx5())
+    server, client = build_kv_pair(cluster, server_host, client_host)
+    return cluster, server, client
+
+
+def test_get_missing_key_returns_none(kv):
+    _, _, client = kv
+    assert client.get(b"nope") is None
+
+
+def test_server_load_then_get(kv):
+    _, server, client = kv
+    server.load(b"alpha", b"value-1")
+    assert client.get(b"alpha") == b"value-1"
+
+
+def test_put_then_get(kv):
+    _, _, client = kv
+    client.put(b"k1", b"hello world")
+    assert client.get(b"k1") == b"hello world"
+
+
+def test_put_overwrites(kv):
+    _, _, client = kv
+    client.put(b"k1", b"first")
+    client.put(b"k1", b"second")
+    assert client.get(b"k1") == b"second"
+
+
+def test_many_keys(kv):
+    _, _, client = kv
+    for i in range(50):
+        client.put(f"key{i}".encode(), f"value{i}".encode())
+    for i in range(50):
+        assert client.get(f"key{i}".encode()) == f"value{i}".encode()
+
+
+def test_collision_returns_none(kv):
+    """A different key hashing to the same slot must not be returned."""
+    _, server, client = kv
+    server.load(b"occupant", b"data")
+    slot = server.slot_of(b"occupant")
+    # craft a second key landing in the same slot
+    other = None
+    for i in range(100_000):
+        candidate = f"probe{i}".encode()
+        if server.slot_of(candidate) == slot and candidate != b"occupant":
+            other = candidate
+            break
+    assert other is not None
+    assert client.get(other) is None
+
+
+def test_value_too_long_rejected(kv):
+    _, _, client = kv
+    with pytest.raises(ValueError):
+        client.put(b"k", b"x" * (MAX_VALUE + 1))
+
+
+def test_key_too_long_rejected(kv):
+    _, _, client = kv
+    with pytest.raises(ValueError):
+        client.put(b"k" * 33, b"v")
+
+
+def test_slot_count_must_be_power_of_two():
+    cluster = Cluster(seed=0)
+    host = cluster.add_host("server", spec=cx5())
+    with pytest.raises(ValueError):
+        KVStoreServer(host, num_slots=1000)
+
+
+def test_two_clients_share_store():
+    cluster = Cluster(seed=0)
+    server_host = cluster.add_host("server", spec=cx5())
+    a_host = cluster.add_host("a", spec=cx5())
+    b_host = cluster.add_host("b", spec=cx5())
+    server, a = build_kv_pair(cluster, server_host, a_host)
+    b = KVStoreClient(cluster.connect(b_host, server_host), server)
+    a.put(b"shared", b"from-a")
+    assert b.get(b"shared") == b"from-a"
+
+
+def test_get_counts(kv):
+    _, server, client = kv
+    server.load(b"x", b"y")
+    client.get(b"x")
+    client.get(b"x")
+    assert client.gets == 2

@@ -1,0 +1,82 @@
+"""Tests for the SEND/RECV RPC service (SRQ + server process)."""
+
+import pytest
+
+from repro.apps.rpc import SLOT, RPCClient, RPCServer
+from repro.host import Cluster
+from repro.rnic import cx5
+
+
+def build(handler=None, num_clients=1):
+    cluster = Cluster(seed=0)
+    server_host = cluster.add_host("server", spec=cx5())
+    server = RPCServer(cluster, server_host, handler=handler)
+    clients = [
+        server.accept(cluster.add_host(f"client{i}", spec=cx5()))
+        for i in range(num_clients)
+    ]
+    server.start()
+    return cluster, server, clients
+
+
+def test_echo_roundtrip():
+    _, server, (client,) = build()
+    assert client.call(b"hello rpc") == b"hello rpc"
+    assert server.served == 1
+
+
+def test_handler_transforms_request():
+    _, server, (client,) = build(handler=lambda b: b.upper())
+    assert client.call(b"shout") == b"SHOUT"
+
+
+def test_many_sequential_calls_reuse_slots():
+    _, server, (client,) = build()
+    for i in range(200):  # far more calls than SRQ slots
+        assert client.call(f"req-{i}".encode()) == f"req-{i}".encode()
+    assert server.served == 200
+
+
+def test_multiple_clients_served():
+    _, server, clients = build(handler=lambda b: b + b"!", num_clients=3)
+    for index, client in enumerate(clients):
+        assert client.call(f"c{index}".encode()) == f"c{index}!".encode()
+    assert server.served == 3
+
+
+def test_interleaved_clients():
+    _, server, clients = build(num_clients=2)
+    for round_index in range(20):
+        client = clients[round_index % 2]
+        payload = f"{round_index}".encode()
+        assert client.call(payload) == payload
+
+
+def test_oversized_request_rejected():
+    _, _, (client,) = build()
+    with pytest.raises(ValueError):
+        client.call(b"x" * (SLOT + 1))
+
+
+def test_stopped_server_times_out():
+    cluster, server, (client,) = build()
+    client.call(b"warm")
+    server.stop()
+    cluster.run_for(10_000)  # let the server process exit
+    with pytest.raises(TimeoutError):
+        client.call(b"anyone?", timeout_ns=2e6)
+
+
+def test_double_start_rejected():
+    _, server, _ = build()
+    with pytest.raises(RuntimeError):
+        server.start()
+
+
+def test_rpc_latency_is_microseconds():
+    cluster, server, (client,) = build()
+    client.call(b"warmup")
+    start = cluster.sim.now
+    client.call(b"timed")
+    latency = cluster.sim.now - start
+    assert 2_000 < latency < 100_000  # a few us round trip + polling

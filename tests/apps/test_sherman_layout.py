@@ -1,0 +1,116 @@
+"""Unit tests for the Sherman node layout."""
+
+import pytest
+
+from repro.apps.sherman import (
+    INTERNAL_CAPACITY,
+    LEAF_CAPACITY,
+    NODE_SIZE,
+    InternalNode,
+    LeafEntry,
+    LeafNode,
+    NodeHeader,
+)
+from repro.apps.sherman.layout import KEY_MAX, LEAF_ENTRY_SIZE
+
+
+def test_capacities():
+    assert NODE_SIZE == 1024
+    assert LEAF_ENTRY_SIZE == 64       # the paper's 64 B KV store
+    assert LEAF_CAPACITY == 15
+    assert INTERNAL_CAPACITY == 60
+
+
+def test_header_roundtrip():
+    header = NodeHeader(lock=7, level=2, count=3, low_key=10, high_key=99,
+                        right_sibling=2048, version=5)
+    decoded = NodeHeader.unpack(header.pack())
+    assert decoded == header
+
+
+def test_header_covers():
+    header = NodeHeader(low_key=100, high_key=200)
+    assert header.covers(100)
+    assert header.covers(199)
+    assert not header.covers(200)
+    assert not header.covers(99)
+    top = NodeHeader(low_key=0, high_key=KEY_MAX)
+    assert top.covers(KEY_MAX)
+
+
+def test_leaf_roundtrip():
+    leaf = LeafNode(
+        header=NodeHeader(level=0, low_key=0, high_key=1000),
+        entries=[LeafEntry(key=5, value=b"five"), LeafEntry(key=9, value=b"nine")],
+    )
+    raw = leaf.pack()
+    assert len(raw) == NODE_SIZE
+    decoded = LeafNode.unpack(raw)
+    assert decoded.header.count == 2
+    assert decoded.find(5).value == b"five"
+    assert decoded.find(9).value == b"nine"
+    assert decoded.find(7) is None
+
+
+def test_leaf_overflow_rejected():
+    leaf = LeafNode(
+        header=NodeHeader(level=0),
+        entries=[LeafEntry(key=i, value=b"") for i in range(LEAF_CAPACITY + 1)],
+    )
+    with pytest.raises(ValueError):
+        leaf.pack()
+
+
+def test_leaf_value_too_long():
+    with pytest.raises(ValueError):
+        LeafEntry(key=1, value=b"x" * 49).pack()
+
+
+def test_entry_offset_is_64_byte_grid():
+    assert LeafNode.entry_offset(0) == 64
+    assert LeafNode.entry_offset(1) == 128
+    with pytest.raises(ValueError):
+        LeafNode.entry_offset(LEAF_CAPACITY)
+
+
+def test_internal_roundtrip():
+    node = InternalNode(
+        header=NodeHeader(level=1, low_key=0, high_key=KEY_MAX),
+        keys=[0, 100, 200],
+        children=[1024, 2048, 3072],
+    )
+    decoded = InternalNode.unpack(node.pack())
+    assert decoded.keys == [0, 100, 200]
+    assert decoded.children == [1024, 2048, 3072]
+
+
+def test_internal_routing():
+    node = InternalNode(
+        header=NodeHeader(level=1),
+        keys=[0, 100, 200],
+        children=[10, 20, 30],
+    )
+    assert node.route(0) == 10
+    assert node.route(99) == 10
+    assert node.route(100) == 20
+    assert node.route(150) == 20
+    assert node.route(200) == 30
+    assert node.route(10**9) == 30
+
+
+def test_internal_level_zero_rejected():
+    node = InternalNode(header=NodeHeader(level=0), keys=[0], children=[1])
+    with pytest.raises(ValueError):
+        node.pack()
+
+
+def test_internal_mismatched_pairs_rejected():
+    node = InternalNode(header=NodeHeader(level=1), keys=[0, 1], children=[1])
+    with pytest.raises(ValueError):
+        node.pack()
+
+
+def test_empty_internal_route_rejected():
+    node = InternalNode(header=NodeHeader(level=1), keys=[], children=[])
+    with pytest.raises(ValueError):
+        node.route(5)

@@ -1,0 +1,96 @@
+"""Tests for the shuffle/join operator traffic shapes (Figure 12)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.shuffle_join import (
+    DatabaseNode,
+    JoinOperator,
+    OperatorSchedule,
+    ShuffleOperator,
+)
+from repro.host import Cluster
+from repro.rnic import FluidFlow, cx5
+from repro.sim.units import MILLISECONDS
+from repro.telemetry import BandwidthMonitor
+from repro.verbs.enums import Opcode
+
+
+def make_node():
+    cluster = Cluster(seed=0)
+    host = cluster.add_host("dbserver", spec=cx5())
+    return cluster, DatabaseNode(cluster, host)
+
+
+def attach_monitor(cluster, node, interval=MILLISECONDS):
+    flow = FluidFlow(opcode=Opcode.RDMA_READ, msg_size=65536, qp_num=1,
+                     demand_bps=200e6, label="attacker-monitor")
+    node.host.rnic.add_fluid_flow(flow)
+    monitor = BandwidthMonitor(cluster.sim, node.host.rnic, flow,
+                               interval_ns=interval)
+    monitor.start()
+    return monitor
+
+
+def test_shuffle_produces_plateau_dip():
+    cluster, node = make_node()
+    monitor = attach_monitor(cluster, node)
+    op = ShuffleOperator(duration_ns=20 * MILLISECONDS)
+    op.run(node, start_ns=10 * MILLISECONDS)
+    cluster.run_for(40 * MILLISECONDS)
+    values = np.array(monitor.values)
+    before = values[:9].mean()
+    during = values[11:29].mean()
+    after = values[31:].mean()
+    assert during < 0.7 * before
+    assert after == pytest.approx(before, rel=0.05)
+    # plateau: low variance inside the dip
+    assert values[12:28].std() < 0.1 * before
+
+
+def test_join_produces_teeth():
+    cluster, node = make_node()
+    monitor = attach_monitor(cluster, node)
+    op = JoinOperator(rounds=4, burst_ns=4 * MILLISECONDS, gap_ns=4 * MILLISECONDS)
+    op.run(node, start_ns=5 * MILLISECONDS)
+    cluster.run_for(5 * MILLISECONDS + op.duration_ns + 5 * MILLISECONDS)
+    values = np.array(monitor.values)
+    baseline = values[:4].mean()
+    dips = (values < 0.8 * baseline).astype(int)
+    # count falling edges: one per round
+    transitions = int(((dips[1:] == 1) & (dips[:-1] == 0)).sum())
+    assert transitions == 4
+
+
+def test_shuffle_and_join_shapes_differ():
+    def trace(op, duration):
+        cluster, node = make_node()
+        monitor = attach_monitor(cluster, node)
+        op.run(node, start_ns=5 * MILLISECONDS)
+        cluster.run_for(duration)
+        return np.array(monitor.values)
+
+    shuffle = trace(ShuffleOperator(duration_ns=24 * MILLISECONDS),
+                    34 * MILLISECONDS)
+    join = trace(JoinOperator(rounds=3, burst_ns=4 * MILLISECONDS,
+                              gap_ns=4 * MILLISECONDS), 34 * MILLISECONDS)
+    # the join trace oscillates; the shuffle trace has one long dip
+    assert np.abs(np.diff(join)).sum() > np.abs(np.diff(shuffle)).sum()
+
+
+def test_operator_schedule_records_truth():
+    cluster, node = make_node()
+    schedule = OperatorSchedule(node)
+    end1 = schedule.add("shuffle", ShuffleOperator(), 0.0)
+    schedule.add("join", JoinOperator(), end1 + MILLISECONDS)
+    truth = schedule.truth()
+    assert [name for name, _, _ in truth] == ["shuffle", "join"]
+    assert truth[0][2] <= truth[1][1]
+
+
+def test_stop_all_removes_flows():
+    cluster, node = make_node()
+    node.start_flow(Opcode.RDMA_WRITE, 1024, 4, "x")
+    node.start_flow(Opcode.RDMA_READ, 2048, 2, "y")
+    node.stop_all()
+    assert node.host.rnic.fluid_flows == []

@@ -1,0 +1,86 @@
+"""Unit tests for bitstream framing and channel metrics."""
+
+import math
+
+import pytest
+
+from repro.covert import (
+    PAPER_BITSTREAM,
+    bit_error_rate,
+    bits_to_text,
+    bsc_capacity,
+    random_bits,
+    text_to_bits,
+)
+from repro.covert.result import ChannelResult
+
+
+def test_paper_bitstream_is_figure_9():
+    assert "".join(map(str, PAPER_BITSTREAM)) == "1101111101010010"
+
+
+def test_text_roundtrip():
+    text = "ragnar"
+    assert bits_to_text(text_to_bits(text)) == text
+
+
+def test_text_to_bits_msb_first():
+    assert text_to_bits("A")[:8] == [0, 1, 0, 0, 0, 0, 0, 1]
+
+
+def test_random_bits_reproducible():
+    assert random_bits(32, seed=5) == random_bits(32, seed=5)
+    assert random_bits(32, seed=5) != random_bits(32, seed=6)
+
+
+def test_random_bits_validation():
+    with pytest.raises(ValueError):
+        random_bits(0)
+
+
+def test_ber_zero_for_identical():
+    bits = random_bits(64)
+    assert bit_error_rate(bits, bits) == 0.0
+
+
+def test_ber_counts_flips():
+    assert bit_error_rate([0, 0, 0, 0], [0, 1, 0, 1]) == 0.5
+
+
+def test_ber_counts_missing_bits():
+    assert bit_error_rate([1, 1, 1, 1], [1, 1]) == 0.5
+
+
+def test_ber_empty_sent_rejected():
+    with pytest.raises(ValueError):
+        bit_error_rate([], [1])
+
+
+def test_bsc_capacity_extremes():
+    assert bsc_capacity(0.0) == 1.0
+    assert bsc_capacity(0.5) == pytest.approx(0.0, abs=1e-12)
+    assert bsc_capacity(1.0) == 1.0  # bit-inverted channel still carries
+
+
+def test_bsc_capacity_matches_table_v():
+    """The paper's effective-bandwidth column: 31.8 Kbps at 5.92 %
+    error gives 21.5 Kbps."""
+    assert 31.8 * bsc_capacity(0.0592) == pytest.approx(21.5, abs=0.3)
+
+
+def test_channel_result_metrics():
+    result = ChannelResult.build(
+        channel="test", rnic="CX-5",
+        sent=[1, 0, 1, 0], decoded=[1, 0, 1, 1],
+        duration_ns=4e9,
+    )
+    assert result.bandwidth_bps == pytest.approx(1.0)
+    assert result.error_rate == pytest.approx(0.25)
+    assert result.effective_bandwidth_bps < result.bandwidth_bps
+    row = result.row()
+    assert row["bits"] == 4
+
+
+def test_channel_result_bad_duration():
+    with pytest.raises(ValueError):
+        ChannelResult.build("c", "r", [1], [1], 0.0)

@@ -1,0 +1,142 @@
+"""Unit tests for the lockstep helpers (readers, windows, detrend)."""
+
+import numpy as np
+import pytest
+
+from repro.covert.lockstep import (
+    PipelinedReader,
+    decode_windows,
+    detrend,
+    window_means,
+)
+from repro.host import Cluster
+from repro.rnic import cx5
+from repro.telemetry import ProbeTarget
+
+
+def make_reader(depth=4):
+    cluster = Cluster(seed=0)
+    server = cluster.add_host("server", spec=cx5())
+    client = cluster.add_host("client", spec=cx5())
+    conn = cluster.connect(client, server, max_send_wr=depth)
+    mr = server.reg_mr(2 * 1024 * 1024)
+    targets = [ProbeTarget(mr, 0, 64), ProbeTarget(mr, 512, 64)]
+    cursor = [0]
+
+    def next_target():
+        t = targets[cursor[0] % 2]
+        cursor[0] += 1
+        return t
+
+    reader = PipelinedReader(conn, next_target)
+    return cluster, reader, conn
+
+
+class TestPipelinedReader:
+    def test_maintains_depth(self):
+        cluster, reader, conn = make_reader(depth=4)
+        reader.start()
+        cluster.run_for(100_000)
+        assert conn.qp.outstanding_send == 4
+        assert reader.completed > 10
+
+    def test_stop_drains(self):
+        cluster, reader, conn = make_reader()
+        reader.start()
+        cluster.run_for(50_000)
+        reader.stop()
+        cluster.run_for(200_000)
+        assert conn.qp.outstanding_send == 0
+
+    def test_resume_reprimes(self):
+        cluster, reader, conn = make_reader()
+        reader.start()
+        cluster.run_for(50_000)
+        reader.stop()
+        cluster.run_for(200_000)
+        reader.resume()
+        assert conn.qp.outstanding_send == reader.depth
+
+    def test_samples_use_midpoint_timestamps(self):
+        cluster, reader, _ = make_reader()
+        reader.start()
+        cluster.run_for(100_000)
+        # midpoints must be strictly before the sim's current time
+        assert all(0 < t < cluster.sim.now for t, _ in reader.samples)
+
+    def test_double_start_rejected(self):
+        cluster, reader, _ = make_reader()
+        reader.start()
+        with pytest.raises(RuntimeError):
+            reader.start()
+
+    def test_second_reader_on_same_cq_rejected(self):
+        cluster, reader, conn = make_reader()
+        with pytest.raises(RuntimeError):
+            PipelinedReader(conn, reader.next_target)
+
+    def test_samples_after(self):
+        cluster, reader, _ = make_reader()
+        reader.start()
+        cluster.run_for(100_000)
+        cut = 50_000
+        assert all(t >= cut for t, _ in reader.samples_after(cut))
+
+
+class TestWindowing:
+    def test_window_means_basic(self):
+        samples = [(5.0, 10.0), (15.0, 20.0), (25.0, 30.0), (26.0, 50.0)]
+        means = window_means(samples, start=0.0, period=10.0, count=3)
+        assert means[0] == 10.0
+        assert means[1] == 20.0
+        assert means[2] == 40.0
+
+    def test_empty_window_inherits_previous(self):
+        samples = [(5.0, 10.0), (25.0, 30.0)]
+        means = window_means(samples, 0.0, 10.0, 3)
+        assert means[1] == 10.0  # inherited
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            window_means([], 0.0, 0.0, 2)
+        with pytest.raises(ValueError):
+            window_means([], 0.0, 1.0, 0)
+
+    def test_decode_windows_high_is_one(self):
+        samples = []
+        levels = [100.0, 200.0, 100.0, 200.0]
+        for k, level in enumerate(levels):
+            for j in range(5):
+                samples.append((k * 10.0 + j * 2.0, level))
+        assert decode_windows(samples, 0.0, 10.0, 4) == [0, 1, 0, 1]
+        assert decode_windows(samples, 0.0, 10.0, 4, high_is_one=False) == [1, 0, 1, 0]
+
+
+class TestDetrend:
+    def test_removes_baseline_step(self):
+        rng = np.random.default_rng(0)
+        samples = []
+        for i in range(200):
+            t = float(i)
+            baseline = 0.0 if i < 100 else 500.0   # ambient tenant arrives
+            signal = 50.0 if (i // 10) % 2 else 0.0
+            samples.append((t, baseline + signal + rng.normal(0, 2)))
+        flat = detrend(samples, half_window_ns=30.0)
+        values = np.array([v for _, v in flat])
+        first, second = values[20:80], values[120:180]
+        # the 500-unit step shrinks to residual edge effects
+        assert abs(first.mean() - second.mean()) < 50.0
+        # the symbol-rate signal survives
+        assert values.std() > 10.0
+
+    def test_empty_input(self):
+        assert detrend([], 10.0) == []
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            detrend([(0.0, 1.0)], 0.0)
+
+    def test_preserves_timestamps(self):
+        samples = [(3.0, 5.0), (1.0, 4.0), (2.0, 6.0)]
+        out = detrend(samples, 10.0)
+        assert [t for t, _ in out] == [1.0, 2.0, 3.0]

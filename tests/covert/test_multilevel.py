@@ -1,0 +1,69 @@
+"""Tests for the 4-ary intra-MR channel extension."""
+
+import pytest
+
+from repro.covert import MultiLevelConfig, MultiLevelIntraMRChannel, random_bits
+from repro.rnic import cx5
+
+
+@pytest.fixture(scope="module")
+def channel():
+    return MultiLevelIntraMRChannel(cx5())
+
+
+class TestSymbolMapping:
+    def test_bits_to_symbols(self, channel):
+        assert channel.bits_to_symbols([0, 0, 0, 1, 1, 0, 1, 1]) == [0, 1, 2, 3]
+
+    def test_symbols_to_bits(self, channel):
+        assert channel.symbols_to_bits([0, 1, 2, 3]) == [0, 0, 0, 1, 1, 0, 1, 1]
+
+    def test_roundtrip(self, channel):
+        bits = random_bits(32, seed=0)
+        assert channel.symbols_to_bits(channel.bits_to_symbols(bits)) == bits
+
+    def test_odd_length_padded(self, channel):
+        symbols = channel.bits_to_symbols([1, 0, 1])
+        assert len(symbols) == 2
+
+
+class TestLevels:
+    def test_four_distinct_sender_targets(self, channel):
+        class FakeMR:
+            addr, length = 0, 2 * 1024 * 1024
+
+            def contains(self, addr, size):
+                return True
+
+        channel.shared_mr = FakeMR()
+        offsets = {channel.sender_targets(s)[0].offset for s in range(4)}
+        assert len(offsets) == 4
+
+    def test_level_alignments_differ(self, channel):
+        class FakeMR:
+            addr, length = 0, 2 * 1024 * 1024
+
+            def contains(self, addr, size):
+                return True
+
+        channel.shared_mr = FakeMR()
+        level0 = channel.sender_targets(0)[0].offset
+        level1 = channel.sender_targets(1)[0].offset
+        level2 = channel.sender_targets(2)[0].offset
+        assert level0 % 64 == 0
+        assert level1 % 8 == 0 and level1 % 64 != 0
+        assert level2 % 8 != 0
+
+
+class TestTransmission:
+    def test_transmits_two_bits_per_symbol(self):
+        bits = random_bits(96, seed=2)
+        channel = MultiLevelIntraMRChannel(cx5())
+        result = channel.transmit(bits, seed=1)
+        assert result.error_rate < 0.2
+        # raw symbol rate doubles the bit rate vs one bit/symbol
+        assert result.bandwidth_bps > 60_000
+
+    def test_empty_bits_rejected(self):
+        with pytest.raises(ValueError):
+            MultiLevelIntraMRChannel(cx5()).transmit([])

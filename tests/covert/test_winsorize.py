@@ -1,0 +1,44 @@
+"""Unit tests for the receiver's outlier clipping."""
+
+import numpy as np
+import pytest
+
+from repro.covert.lockstep import winsorize
+
+
+def test_clips_spikes_preserves_signal():
+    rng = np.random.default_rng(0)
+    samples = [(float(i), 600.0 + rng.normal(0, 20)) for i in range(200)]
+    samples[50] = (50.0, 16_600.0)   # a retransmission spike
+    clipped = winsorize(samples)
+    values = np.array([v for _, v in clipped])
+    assert values.max() < 2_000.0
+    # unspiked samples untouched
+    untouched = [v for (t, v), (_, o) in zip(clipped, samples)
+                 if t != 50.0 and v != o]
+    assert untouched == []
+
+
+def test_sample_count_preserved():
+    samples = [(float(i), float(i)) for i in range(50)]
+    assert len(winsorize(samples)) == 50
+
+
+def test_empty():
+    assert winsorize([]) == []
+
+
+def test_constant_input_unchanged():
+    samples = [(float(i), 7.0) for i in range(10)]
+    assert winsorize(samples) == samples
+
+
+def test_bad_multiple():
+    with pytest.raises(ValueError):
+        winsorize([(0.0, 1.0)], multiple=0.0)
+
+
+def test_timestamps_untouched():
+    samples = [(3.0, 1.0), (1.0, 100.0), (2.0, 1.0)]
+    clipped = winsorize(samples)
+    assert [t for t, _ in clipped] == [3.0, 1.0, 2.0]

@@ -1,0 +1,146 @@
+"""Unit tests for the Grain-I..III detectors and Table I's claims."""
+
+import pytest
+
+from repro.defense import CacheGuard, Grain1Detector, HarmonicDetector, TenantProfile
+from repro.rnic import cx5
+from repro.verbs.enums import Opcode
+from repro.sim.units import SECONDS
+
+
+def profile(**overrides) -> TenantProfile:
+    """A benign baseline tenant: moderate 4 KB reads on one MR."""
+    defaults = dict(
+        tenant="t1",
+        duration_ns=1 * SECONDS,
+        bytes_per_tc={0: 10**9},     # 8 Gbps
+        opcode_counts={Opcode.RDMA_READ: 250_000},
+        msg_size_counts={4096: 250_000},
+        qp_count=2,
+        mr_count=1,
+        pd_count=1,
+        cache_accesses=250_000,
+        cache_misses=50,
+        cache_evictions=10,
+    )
+    defaults.update(overrides)
+    return TenantProfile(**defaults)
+
+
+class TestGrain1:
+    def test_benign_passes(self):
+        detector = Grain1Detector(cx5())
+        assert not detector.inspect(profile()).flagged
+
+    def test_saturating_tenant_flagged(self):
+        detector = Grain1Detector(cx5())
+        bully = profile(bytes_per_tc={0: int(90e9 / 8)})  # 90 Gbps on a 50% share
+        verdict = detector.inspect(bully)
+        assert verdict.flagged
+        assert "exceeds" in verdict.reason
+
+    def test_share_validation(self):
+        with pytest.raises(ValueError):
+            Grain1Detector(cx5(), tc_share=0.0)
+
+
+class TestHarmonic:
+    def test_benign_passes(self):
+        detector = HarmonicDetector(cx5())
+        assert not detector.inspect(profile()).flagged
+
+    def test_pps_flood_flagged(self):
+        detector = HarmonicDetector(cx5())
+        flood = profile(
+            opcode_counts={Opcode.RDMA_WRITE: 80_000_000},
+            msg_size_counts={64: 80_000_000},
+        )
+        assert detector.inspect(flood).flagged
+
+    def test_atomic_flood_flagged(self):
+        detector = HarmonicDetector(cx5())
+        atomics = profile(
+            opcode_counts={Opcode.ATOMIC_FETCH_ADD: 2_000_000},
+            msg_size_counts={8: 2_000_000},
+        )
+        assert detector.inspect(atomics).flagged
+
+    def test_resource_churn_flagged(self):
+        detector = HarmonicDetector(cx5())
+        churner = profile(mr_count=500)
+        assert detector.inspect(churner).flagged
+
+    def test_tiny_write_flood_flagged(self):
+        detector = HarmonicDetector(cx5())
+        tiny = profile(
+            opcode_counts={Opcode.RDMA_WRITE: 10_000_000},
+            msg_size_counts={64: 10_000_000},
+        )
+        assert detector.inspect(tiny).flagged
+
+    def test_ragnar_intra_mr_profile_passes(self):
+        """The Grain-IV sender: plain 512 B reads, one MR, moderate
+        rate — HARMONIC's envelopes see nothing (Table I)."""
+        detector = HarmonicDetector(cx5())
+        ragnar = profile(
+            opcode_counts={Opcode.RDMA_READ: 1_500_000},
+            msg_size_counts={512: 1_500_000},
+            bytes_per_tc={0: 1_500_000 * 512},
+            mr_count=1,
+        )
+        assert not detector.inspect(ragnar).flagged
+
+    def test_ragnar_inter_mr_profile_passes(self):
+        detector = HarmonicDetector(cx5())
+        ragnar = profile(
+            opcode_counts={Opcode.RDMA_READ: 1_500_000},
+            msg_size_counts={512: 1_500_000},
+            mr_count=2,
+        )
+        assert not detector.inspect(ragnar).flagged
+
+
+class TestCacheGuard:
+    def test_benign_passes(self):
+        assert not CacheGuard().inspect(profile()).flagged
+
+    def test_eviction_storm_flagged(self):
+        pythia = profile(
+            cache_accesses=100_000,
+            cache_misses=60_000,
+            cache_evictions=55_000,
+        )
+        verdict = CacheGuard().inspect(pythia)
+        assert verdict.flagged
+        assert "eviction" in verdict.reason
+
+    def test_warm_cache_heavy_traffic_passes(self):
+        """Ragnar hammers two MRs but they stay cache-resident."""
+        ragnar = profile(
+            cache_accesses=3_000_000,
+            cache_misses=4,
+            cache_evictions=0,
+        )
+        assert not CacheGuard().inspect(ragnar).flagged
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CacheGuard(miss_rate_threshold=1.5)
+
+
+class TestProfileProperties:
+    def test_rates(self):
+        p = profile()
+        assert p.avg_rate_bps == pytest.approx(8e9)
+        assert p.avg_pps == pytest.approx(250_000)
+        assert p.mean_msg_size == pytest.approx(4096)
+
+    def test_fractions(self):
+        p = profile(opcode_counts={Opcode.RDMA_WRITE: 30, Opcode.RDMA_READ: 70})
+        assert p.write_fraction == pytest.approx(0.3)
+        p = profile(opcode_counts={Opcode.ATOMIC_CMP_SWP: 10})
+        assert p.atomic_fraction == 1.0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            profile(duration_ns=0)

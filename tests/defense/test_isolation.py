@@ -1,0 +1,110 @@
+"""Tests for HARMONIC enforcement: policing restores victims, spares
+Ragnar (the full Table I story)."""
+
+import pytest
+
+from repro.defense import HarmonicDetector, HarmonicIsolation, TenantProfile
+from repro.host import Cluster
+from repro.rnic import FluidFlow, cx5
+from repro.sim.units import SECONDS
+from repro.verbs.enums import Opcode
+
+
+def perf_attacker_profile() -> TenantProfile:
+    count = 60_000_000
+    return TenantProfile(
+        tenant="bully",
+        duration_ns=1 * SECONDS,
+        bytes_per_tc={0: count * 64},
+        opcode_counts={Opcode.RDMA_WRITE: count},
+        msg_size_counts={64: count},
+        qp_count=16,
+    )
+
+
+def benign_profile(name="victim") -> TenantProfile:
+    return TenantProfile(
+        tenant=name,
+        duration_ns=1 * SECONDS,
+        bytes_per_tc={0: 10**9},
+        opcode_counts={Opcode.RDMA_READ: 250_000},
+        msg_size_counts={4096: 250_000},
+        qp_count=2,
+    )
+
+
+@pytest.fixture
+def nic():
+    cluster = Cluster(seed=0)
+    return cluster.add_host("server", spec=cx5()).rnic
+
+
+class TestPolicing:
+    def test_victim_recovers_when_bully_policed(self, nic):
+        victim_flow = FluidFlow(opcode=Opcode.RDMA_READ, msg_size=4096,
+                                qp_num=4)
+        bully_flow = FluidFlow(opcode=Opcode.RDMA_WRITE, msg_size=32768,
+                               qp_num=16)
+        nic.add_fluid_flow(victim_flow)
+        solo = nic.fluid_bandwidth(victim_flow)
+        nic.add_fluid_flow(bully_flow)
+        contended = nic.fluid_bandwidth(victim_flow)
+        assert contended < 0.7 * solo
+
+        bully_profile = perf_attacker_profile()
+        policer = HarmonicIsolation(HarmonicDetector(cx5()), cap_bps=1e9)
+        verdicts = policer.police(nic, {
+            "bully": (bully_profile, [bully_flow]),
+            "victim": (benign_profile(), [victim_flow]),
+        })
+        assert verdicts["bully"].flagged
+        assert not verdicts["victim"].flagged
+        assert nic.fluid_bandwidth(bully_flow) <= 1e9 * 1.001
+        restored = nic.fluid_bandwidth(victim_flow)
+        assert restored > contended
+
+    def test_benign_tenants_never_capped(self, nic):
+        flow = FluidFlow(opcode=Opcode.RDMA_READ, msg_size=4096, qp_num=4)
+        nic.add_fluid_flow(flow)
+        before = nic.fluid_bandwidth(flow)
+        policer = HarmonicIsolation(HarmonicDetector(cx5()))
+        policer.police(nic, {"tenant": (benign_profile(), [flow])})
+        assert nic.fluid_bandwidth(flow) == pytest.approx(before)
+
+    def test_ragnar_sender_profile_is_not_policed(self, nic):
+        """The intra-MR sender's profile passes HARMONIC, so policing
+        leaves the covert channel's traffic untouched (Table I)."""
+        ragnar_profile = TenantProfile(
+            tenant="ragnar",
+            duration_ns=1 * SECONDS,
+            bytes_per_tc={0: 1_500_000 * 512},
+            opcode_counts={Opcode.RDMA_READ: 1_500_000},
+            msg_size_counts={512: 1_500_000},
+            qp_count=1,
+            mr_count=1,
+        )
+        flow = FluidFlow(opcode=Opcode.RDMA_READ, msg_size=512, qp_num=1)
+        nic.add_fluid_flow(flow)
+        before = nic.fluid_bandwidth(flow)
+        policer = HarmonicIsolation(HarmonicDetector(cx5()))
+        verdicts = policer.police(nic, {"ragnar": (ragnar_profile, [flow])})
+        assert not verdicts["ragnar"].flagged
+        assert nic.fluid_bandwidth(flow) == pytest.approx(before)
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            HarmonicIsolation(HarmonicDetector(cx5()), cap_bps=0)
+
+
+class TestPythiaOracle:
+    def test_oracle_detects_victim_touches(self):
+        from repro.baselines import PythiaChannel
+
+        accuracy = PythiaChannel(cx5()).side_channel_oracle(trials=30, seed=1)
+        assert accuracy > 0.9
+
+    def test_oracle_validation(self):
+        from repro.baselines import PythiaChannel
+
+        with pytest.raises(ValueError):
+            PythiaChannel(cx5()).side_channel_oracle(trials=0)

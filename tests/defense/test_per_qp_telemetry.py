@@ -1,0 +1,80 @@
+"""Tests for per-QP Grain-III telemetry and the QP-level profile path."""
+
+import pytest
+
+from repro.defense import HarmonicDetector, TenantProfile
+from repro.host import Cluster
+from repro.rnic import cx5
+from repro.sim.units import SECONDS
+from repro.verbs.enums import Opcode
+
+
+def build_conn(max_send_wr=16):
+    cluster = Cluster(seed=0)
+    server = cluster.add_host("server", spec=cx5())
+    client = cluster.add_host("client", spec=cx5())
+    conn = cluster.connect(client, server, max_send_wr=max_send_wr)
+    mr = server.reg_mr(2 * 1024 * 1024)
+    return cluster, conn, mr
+
+
+class TestQPCounters:
+    def test_counts_accumulate_per_qp(self):
+        _, conn, mr = build_conn()
+        for _ in range(7):
+            conn.read_blocking(mr, 0, 1024)
+        conn.post_write(mr, 0, 4096)
+        conn.await_completions(1)
+        qp = conn.qp
+        assert qp.opcode_counts[Opcode.RDMA_READ] == 7
+        assert qp.opcode_counts[Opcode.RDMA_WRITE] == 1
+        assert qp.size_counts == {1024: 7, 4096: 1}
+        assert qp.bytes_posted == 7 * 1024 + 4096
+
+    def test_batch_posts_accounted(self):
+        from repro.verbs import SendWR
+
+        _, conn, mr = build_conn()
+        wrs = [
+            SendWR(opcode=Opcode.RDMA_READ, local_addr=conn.local_mr.addr,
+                   length=64, remote_addr=mr.addr, rkey=mr.rkey)
+            for _ in range(4)
+        ]
+        conn.qp.post_send_batch(wrs)
+        conn.await_completions(4)
+        assert conn.qp.opcode_counts[Opcode.RDMA_READ] == 4
+
+
+class TestProfileFromQPs:
+    def test_profile_aggregates_multiple_qps(self):
+        cluster = Cluster(seed=0)
+        server = cluster.add_host("server", spec=cx5())
+        client = cluster.add_host("client", spec=cx5())
+        conns = [cluster.connect(client, server) for _ in range(3)]
+        mr = server.reg_mr(2 * 1024 * 1024)
+        for conn in conns:
+            for _ in range(5):
+                conn.read_blocking(mr, 0, 512)
+        profile = TenantProfile.from_qps(
+            "tenant", [c.qp for c in conns], duration_ns=1 * SECONDS
+        )
+        assert profile.qp_count == 3
+        assert profile.opcode_counts[Opcode.RDMA_READ] == 15
+        assert profile.mean_msg_size == pytest.approx(512)
+        assert profile.total_bytes == 15 * 512
+
+    def test_measured_ragnar_sender_passes_harmonic_via_qp_path(self):
+        """Exact per-QP histograms (not estimates) still show nothing
+        anomalous about the Grain-IV sender."""
+        _, conn, mr = build_conn()
+        for i in range(60):
+            conn.read_blocking(mr, 255 if i % 2 else 0, 512)
+        profile = TenantProfile.from_qps("ragnar", [conn.qp],
+                                         duration_ns=1 * SECONDS)
+        assert profile.msg_size_counts == {512: 60}
+        assert not HarmonicDetector(cx5()).inspect(profile).flagged
+
+    def test_empty_qp_list(self):
+        profile = TenantProfile.from_qps("idle", [], duration_ns=1 * SECONDS)
+        assert profile.total_messages == 0
+        assert profile.qp_count == 1  # a tenant has at least one QP

@@ -1,0 +1,82 @@
+"""Smoke tests for the experiment drivers at reduced parameters.
+
+The benchmarks run each driver at evaluation scale; these make sure
+``pytest tests/`` alone exercises every driver's code path, with
+shape-level assertions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig5,
+    fig12,
+    mitigation,
+    pythia_cmp,
+    stealth,
+    table1,
+    table5,
+    uli_linearity,
+)
+from repro.experiments.fig6_7_8 import run_fig8
+from repro.experiments.fig9_10_11 import run_fig9
+
+
+class TestDriversSmoke:
+    def test_table1(self):
+        result = table1.run()
+        assert len(result.rows) == 5
+        assert all("undetected" in row for row in result.rows)
+
+    def test_table5_reduced(self):
+        result = table5.run(payload_bits=48)
+        assert len(result.rows) == 9
+        channels = {row["channel"] for row in result.rows}
+        assert channels == {"inter-traffic-class", "inter-mr", "intra-mr"}
+        # every row carries the paper's reference value for comparison
+        assert all(np.isfinite(row["paper_bw_bps"]) for row in result.rows)
+
+    def test_fig5_reduced(self):
+        result = fig5.run(samples=40)
+        assert all(row["diff_minus_same_ns"] > 0 for row in result.rows)
+
+    def test_fig8_reduced(self):
+        result = run_fig8(samples=20)
+        assert result.series["metrics"]["same_line_lock_ns"] > 0
+
+    def test_fig9(self):
+        result = run_fig9()
+        assert all(row["error_rate"] == 0.0 for row in result.rows)
+
+    def test_fig12(self):
+        result = fig12.run()
+        assert result.series["detection_rate"] == 1.0
+
+    def test_pythia_cmp_reduced(self):
+        result = pythia_cmp.run(payload_bits=48)
+        assert result.series["ratio"] > 1.5
+
+    def test_linearity_reduced(self):
+        result = uli_linearity.run(samples_per_depth=40)
+        assert all(row["pearson_r"] > 0.99 for row in result.rows)
+
+    def test_mitigation_partition(self):
+        result = mitigation.run_partition()
+        shared, partitioned = result.rows
+        assert shared["cross_tenant_coupling_ns"] > partitioned[
+            "cross_tenant_coupling_ns"
+        ]
+
+    def test_stealth(self):
+        result = stealth.run()
+        rows = {row["attack"]: row for row in result.rows}
+        assert rows["perf-grain2"]["operational_stealth"] == "low"
+        assert rows["ragnar-intra-mr"]["operational_stealth"] in (
+            "high", "undetectable"
+        )
+
+    def test_every_driver_result_is_saveable(self, tmp_path):
+        result = table1.run()
+        path = result.save(str(tmp_path))
+        assert path.exists()
+        assert "table1" in path.read_text()

@@ -1,0 +1,81 @@
+"""Tests for the experiment harness: result rendering, saving, CLI."""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.__main__ import REGISTRY, main
+
+
+def make_result():
+    return ExperimentResult(
+        experiment="demo",
+        title="Demo table",
+        rows=[
+            {"name": "a", "value": 1.5, "flag": True},
+            {"name": "b", "value": 123456.0, "flag": False},
+        ],
+        notes="a note",
+    )
+
+
+class TestExperimentResult:
+    def test_format_contains_all_cells(self):
+        text = make_result().format_table()
+        assert "Demo table" in text
+        assert "1.50" in text
+        assert "yes" in text and "no" in text
+        assert "a note" in text
+
+    def test_format_empty(self):
+        empty = ExperimentResult("x", "Empty", rows=[])
+        assert "(no rows)" in empty.format_table()
+
+    def test_row_truncation(self):
+        result = ExperimentResult(
+            "x", "Big", rows=[{"i": i} for i in range(100)]
+        )
+        text = result.format_table(max_rows=10)
+        assert "90 more rows" in text
+
+    def test_scientific_formatting(self):
+        result = ExperimentResult("x", "t", rows=[{"v": 1.5e8}, {"v": 0.0001}])
+        text = result.format_table()
+        assert "1.5e+08" in text
+        assert "0.0001" in text
+
+    def test_save(self, tmp_path):
+        result = make_result()
+        target = result.save(str(tmp_path))
+        assert target == tmp_path / "demo.txt"
+        assert "Demo table" in target.read_text()
+
+
+class TestCLI:
+    def test_registry_covers_all_paper_artifacts(self):
+        expected = {
+            "table1", "table5", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "fig10", "fig11", "fig12", "fig13", "pythia", "stealth",
+            "linearity", "mitigation-noise", "mitigation-partition",
+        }
+        assert set(REGISTRY) == expected
+
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table5" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_no_args_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_runs_one_experiment(self, tmp_path, capsys):
+        assert main(["table1", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Attack-vs-defense" in out
+        assert (tmp_path / "table1.txt").exists()

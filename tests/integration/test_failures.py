@@ -1,0 +1,116 @@
+"""Failure injection: error paths through the full stack."""
+
+import pytest
+
+from repro.apps.sherman import ShermanClient, ShermanMemoryServer
+from repro.apps.sherman.client import TreeError
+from repro.covert.lockstep import PipelinedReader
+from repro.host import Cluster
+from repro.rnic import cx5
+from repro.sim.units import MEBIBYTE
+from repro.telemetry import ProbeTarget
+from repro.verbs import Opcode, SendWR, WCStatus
+from repro.verbs.enums import QPState
+
+
+def two_hosts(seed=0, **connect_kwargs):
+    cluster = Cluster(seed=seed)
+    server = cluster.add_host("server", spec=cx5())
+    client = cluster.add_host("client", spec=cx5())
+    conn = cluster.connect(client, server, **connect_kwargs)
+    return cluster, server, client, conn
+
+
+class TestRemoteFaults:
+    def test_bad_rkey_fails_cleanly_through_pipeline(self):
+        cluster, server, client, conn = two_hosts()
+        mr = server.reg_mr(4096)
+        conn.qp.post_send(SendWR(
+            opcode=Opcode.RDMA_READ, local_addr=conn.local_mr.addr,
+            length=8, remote_addr=mr.addr, rkey=0xDEAD,
+        ))
+        wc = conn.await_completions(1)[0]
+        assert wc.status is WCStatus.REM_ACCESS_ERR
+        assert conn.qp.state is QPState.ERR
+
+    def test_deregistered_mr_faults_in_flight_traffic(self):
+        cluster, server, client, conn = two_hosts()
+        mr = server.reg_mr(4096)
+        conn.post_read(mr, 0, 8)
+        mr.deregister()      # deregister while the read is in flight
+        wc = conn.await_completions(1)[0]
+        assert wc.status is WCStatus.REM_ACCESS_ERR
+
+    def test_qp_in_err_rejects_new_work(self):
+        from repro.verbs import QPStateError
+
+        cluster, server, client, conn = two_hosts()
+        mr = server.reg_mr(4096)
+        conn.qp.post_send(SendWR(
+            opcode=Opcode.RDMA_READ, local_addr=conn.local_mr.addr,
+            length=8, remote_addr=mr.addr, rkey=0xBAD,
+        ))
+        conn.await_completions(1)
+        with pytest.raises(QPStateError):
+            conn.post_read(mr, 0, 8)
+
+    def test_qp_recovers_via_reset_cycle(self):
+        cluster, server, client, conn = two_hosts()
+        mr = server.reg_mr(4096)
+        conn.qp.post_send(SendWR(
+            opcode=Opcode.RDMA_READ, local_addr=conn.local_mr.addr,
+            length=8, remote_addr=mr.addr, rkey=0xBAD,
+        ))
+        conn.await_completions(1)
+        # reconnect both ends through the state machine
+        conn.qp.modify(QPState.RESET)
+        conn.server_qp.modify(QPState.RESET)
+        conn.qp.connect(conn.server_qp)
+        wc = conn.read_blocking(mr, 0, 8)
+        assert wc.ok
+
+
+class TestClientRobustness:
+    def test_await_completions_times_out(self):
+        cluster, server, client, conn = two_hosts()
+        with pytest.raises(TimeoutError):
+            conn.await_completions(1, timeout_ns=1000.0)
+
+    def test_pipelined_reader_surfaces_failures(self):
+        cluster, server, client, conn = two_hosts(max_send_wr=4)
+        mr = server.reg_mr(4096)
+        target = ProbeTarget(mr, 0, 64)
+        reader = PipelinedReader(conn, lambda: target, depth=2)
+        reader.start()
+        cluster.run_for(50_000)
+        mr.deregister()
+        with pytest.raises(RuntimeError):
+            cluster.run_for(200_000)
+
+
+class TestShermanFaults:
+    def test_region_exhaustion_raises(self):
+        cluster = Cluster(seed=0)
+        ms = cluster.add_host("ms", spec=cx5())
+        cs = cluster.add_host("cs", spec=cx5())
+        # a tiny region: superblock + root + a handful of nodes
+        server = ShermanMemoryServer(ms, region_size=8192)
+        client = ShermanClient(cluster.connect(cs, ms), server)
+        with pytest.raises((TreeError, MemoryError)):
+            for key in range(1, 400):
+                client.insert(key, b"x")
+
+    def test_lock_timeout_when_peer_wedges(self):
+        """If another client dies holding a node lock, waiters fail with
+        a bounded TreeError instead of hanging forever."""
+        cluster = Cluster(seed=0)
+        ms = cluster.add_host("ms", spec=cx5())
+        cs = cluster.add_host("cs", spec=cx5())
+        server = ShermanMemoryServer(ms)
+        client = ShermanClient(cluster.connect(cs, ms), server, client_id=1)
+        client.insert(1, b"v")
+        # wedge: acquire the root leaf's lock and never release it
+        root = server.root_offset
+        ms.memory.write_u64(server.mr.addr + root, 99)   # lock word = 99
+        with pytest.raises(TreeError):
+            client.insert(2, b"w")

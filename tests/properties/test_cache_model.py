@@ -1,0 +1,80 @@
+"""Model-based test: SetAssocCache against a reference implementation."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rnic import SetAssocCache
+
+
+class ReferenceCache:
+    """An obviously-correct set-associative LRU cache."""
+
+    def __init__(self, entries, ways):
+        self.sets = entries // ways
+        self.ways = ways
+        self.data = [OrderedDict() for _ in range(self.sets)]
+
+    def _set(self, key):
+        return self.data[hash(key) % self.sets]
+
+    def access(self, key):
+        target = self._set(key)
+        if key in target:
+            target.move_to_end(key)
+            return True
+        if len(target) >= self.ways:
+            target.popitem(last=False)
+        target[key] = True
+        return False
+
+    def probe(self, key):
+        return key in self._set(key)
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["access", "probe", "invalidate"]),
+        st.integers(min_value=0, max_value=40),
+    ),
+    max_size=200,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=operations)
+def test_cache_matches_reference(ops):
+    cache = SetAssocCache(entries=16, ways=4)
+    reference = ReferenceCache(entries=16, ways=4)
+    for op, key in ops:
+        if op == "access":
+            assert cache.access(key) == reference.access(key)
+        elif op == "probe":
+            assert cache.probe(key) == reference.probe(key)
+        else:
+            was_there = reference.probe(key)
+            if was_there:
+                del reference._set(key)[key]
+            assert cache.invalidate(key) == was_there
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=operations)
+def test_cache_occupancy_never_exceeds_capacity(ops):
+    cache = SetAssocCache(entries=16, ways=4)
+    for op, key in ops:
+        if op == "access":
+            cache.access(key)
+        assert cache.occupancy <= 16
+
+
+@settings(max_examples=100, deadline=None)
+@given(keys=st.lists(st.integers(0, 1000), min_size=1, max_size=100))
+def test_cache_stats_are_consistent(keys):
+    cache = SetAssocCache(entries=8, ways=2)
+    for key in keys:
+        cache.access(key)
+    assert cache.hits + cache.misses == len(keys)
+    assert cache.evictions <= cache.misses
+    assert 0.0 <= cache.hit_rate <= 1.0

@@ -1,0 +1,147 @@
+"""Property tests for simulator and model invariants."""
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rnic import BandwidthAllocator, FluidFlow, TranslationUnit, cx5
+from repro.sim import Simulator
+from repro.verbs.enums import Opcode
+
+
+class TestSimulatorInvariants:
+    @settings(max_examples=100, deadline=None)
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                     allow_nan=False), max_size=50))
+    def test_events_fire_in_nondecreasing_time(self, delays):
+        sim = Simulator()
+        fired: list[float] = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @settings(max_examples=50, deadline=None)
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                     allow_nan=False), min_size=1,
+                           max_size=30))
+    def test_nested_scheduling_preserves_order(self, delays):
+        sim = Simulator()
+        fired = []
+
+        def chain(remaining):
+            fired.append(sim.now)
+            if remaining:
+                sim.schedule(remaining[0], chain, remaining[1:])
+
+        sim.schedule(0.0, chain, list(delays))
+        sim.run()
+        assert fired == sorted(fired)
+
+
+class TestTranslationInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(requests=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+            st.sampled_from(["mrA", "mrB"]),
+            st.integers(min_value=0, max_value=2**20),
+            st.sampled_from([8, 64, 512, 1024]),
+        ),
+        min_size=1, max_size=60,
+    ))
+    def test_service_is_causal_and_positive(self, requests):
+        unit = TranslationUnit(cx5(), rng=np.random.default_rng(0))
+        now = 0.0
+        last_finish = 0.0
+        for gap, mr, offset, size in requests:
+            now += gap
+            finish, breakdown = unit.admit(now, mr, offset, size,
+                                           want_breakdown=True)
+            assert finish > now                      # causality
+            assert finish >= last_finish             # pipeline FIFO
+            assert breakdown.service > 0.0
+            assert breakdown.bank_wait >= 0.0
+            last_finish = finish
+
+    def test_same_seed_same_latencies(self):
+        def run(seed):
+            unit = TranslationUnit(cx5(), rng=np.random.default_rng(seed))
+            out = []
+            now = 0.0
+            for i in range(50):
+                now, _ = unit.admit(now, "mr", (i * 192) % 4096, 64)
+                out.append(now)
+            return out
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestAllocatorInvariants:
+    flows = st.lists(
+        st.builds(
+            FluidFlow,
+            opcode=st.sampled_from([Opcode.RDMA_READ, Opcode.RDMA_WRITE,
+                                    Opcode.ATOMIC_FETCH_ADD]),
+            msg_size=st.sampled_from([64, 512, 4096, 65536]),
+            qp_num=st.integers(min_value=1, max_value=16),
+        ),
+        min_size=1, max_size=5,
+    )
+
+    @settings(max_examples=100, deadline=None)
+    @given(flows=flows)
+    def test_allocations_are_positive_and_capped(self, flows):
+        allocator = BandwidthAllocator(cx5())
+        alloc = allocator.allocate(flows)
+        assert set(alloc) == {f.flow_id for f in flows}
+        pcie = cx5().pcie.usable_rate_bps
+        for flow in flows:
+            assert alloc[flow.flow_id] > 0
+        inbound = sum(alloc[f.flow_id] for f in flows if not f.reverse)
+        outbound = sum(alloc[f.flow_id] for f in flows if f.reverse)
+        assert inbound <= pcie * 1.001
+        assert outbound <= pcie * 1.001
+
+    @settings(max_examples=100, deadline=None)
+    @given(flows=flows)
+    def test_utilizations_in_unit_interval(self, flows):
+        allocator = BandwidthAllocator(cx5())
+        for value in allocator.utilizations(flows).values():
+            assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(size=st.sampled_from([64, 512, 4096]),
+           qp_small=st.integers(min_value=1, max_value=4))
+    def test_interference_monotonic_in_competitor_qps(self, size, qp_small):
+        allocator = BandwidthAllocator(cx5())
+        victim = FluidFlow(opcode=Opcode.RDMA_READ, msg_size=4096, qp_num=4)
+        weak = FluidFlow(opcode=Opcode.RDMA_WRITE, msg_size=size,
+                         qp_num=qp_small)
+        strong = FluidFlow(opcode=Opcode.RDMA_WRITE, msg_size=size,
+                           qp_num=qp_small + 8)
+        f_weak = allocator.interference_factor(victim, weak)
+        f_strong = allocator.interference_factor(victim, strong)
+        if f_weak >= 1.0:  # boost rules grow with qp count instead
+            assert f_strong >= f_weak - 1e-9
+        else:
+            assert f_strong <= f_weak + 1e-9
+
+
+class TestNoiseMitigationInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(scale_a=st.floats(min_value=0.0, max_value=8.0),
+           scale_b=st.floats(min_value=0.0, max_value=8.0))
+    def test_noise_params_monotonic_in_scale(self, scale_a, scale_b):
+        from repro.defense import with_noise_mitigation
+
+        low, high = sorted((scale_a, scale_b))
+        spec_low = with_noise_mitigation(cx5(), low)
+        spec_high = with_noise_mitigation(cx5(), high)
+        assert spec_high.jitter_frac >= spec_low.jitter_frac
+        assert spec_high.spike_prob >= spec_low.spike_prob
+        assert spec_high.spike_ns >= spec_low.spike_ns

@@ -1,0 +1,134 @@
+"""Tests for the ULI-based reverse-engineering experiments
+(Figures 5-8, footnotes 7-8)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import alignment_contrast, power_of_two_score
+from repro.revengine import (
+    absolute_offset_sweep,
+    measure_linearity,
+    mr_contention_sweep,
+    relative_offset_sweep,
+)
+from repro.rnic import cx4
+
+
+class TestLinearity:
+    @pytest.fixture(scope="class")
+    def fit(self):
+        return measure_linearity(depths=(8, 16, 24, 32), samples_per_depth=60)
+
+    def test_high_pearson(self, fit):
+        """Footnote 8: the linear fit is near-perfect (paper: 0.9998)."""
+        assert fit.pearson_r > 0.999
+
+    def test_intercept_negligible(self, fit):
+        """Footnote 8: C can be neglected."""
+        assert fit.relative_intercept < 0.05
+
+    def test_slope_positive_microsecond_scale(self, fit):
+        assert 100 < fit.slope_k < 10_000  # ns per queued WQE
+
+    def test_too_few_depths_rejected(self):
+        with pytest.raises(ValueError):
+            measure_linearity(depths=(8, 16))
+
+
+class TestMRSweep:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return mr_contention_sweep(sizes=(64, 1024), samples=100)
+
+    def test_different_mr_has_higher_uli(self, results):
+        """Figure 5: MR alternation is visible in ULI at every size."""
+        by_key = {(r.msg_size, r.same_mr): r.uli.mean for r in results}
+        for size in (64, 1024):
+            assert by_key[(size, False)] > by_key[(size, True)]
+
+    def test_uli_grows_with_message_size(self, results):
+        by_key = {(r.msg_size, r.same_mr): r.uli.mean for r in results}
+        assert by_key[(1024, True)] > by_key[(64, True)]
+
+    def test_percentile_band_ordering(self, results):
+        for r in results:
+            assert r.uli.p10 <= r.uli.mean <= r.uli.p90
+
+
+class TestAbsoluteOffsetSweep:
+    @pytest.fixture(scope="class")
+    def fine_sweep(self):
+        """Sub-8 B sampling over a few lines, for alignment contrast."""
+        return absolute_offset_sweep(
+            offsets=range(64, 576, 4), msg_size=64, samples=50
+        )
+
+    @pytest.fixture(scope="class")
+    def coarse_sweep(self):
+        """64 B sampling beyond the anchor's segment, for periodicity
+        (the anchor at offset 0 makes segment 0 special)."""
+        return absolute_offset_sweep(
+            offsets=range(2048, 2048 + 8192, 64), msg_size=64, samples=50
+        )
+
+    def test_aligned_8_drops(self, fine_sweep):
+        """Key Finding 4: stable ULI drops at 8 B-aligned addresses."""
+        offs = np.asarray(fine_sweep.offsets)
+        contrast = alignment_contrast(fine_sweep.means, offs, 8)
+        assert contrast > 0
+
+    def test_aligned_64_drops_more(self, fine_sweep):
+        offs = np.asarray(fine_sweep.offsets)
+        means = fine_sweep.means
+        aligned64 = means[offs % 64 == 0].mean()
+        aligned8_not64 = means[(offs % 8 == 0) & (offs % 64 != 0)].mean()
+        unaligned = means[offs % 8 != 0].mean()
+        assert aligned64 < aligned8_not64 < unaligned
+
+    def test_2048_periodicity(self, coarse_sweep):
+        """Key Finding 4: apparent periodicity at 2048 B intervals."""
+        score = power_of_two_score(coarse_sweep.means, step=64, period=2048)
+        off_period = power_of_two_score(coarse_sweep.means, step=64, period=1472)
+        assert score > 0.5
+        assert score > off_period
+
+    def test_mode_marker(self, fine_sweep):
+        assert fine_sweep.mode == "absolute"
+
+
+class TestRelativeOffsetSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return relative_offset_sweep(
+            deltas=range(0, 4352, 64), msg_size=64, samples=50
+        )
+
+    def test_segment_boundary_jump(self, sweep):
+        """Crossing the 2 KB descriptor segment between consecutive
+        reads costs a refill — visible as a step at delta = 2048."""
+        deltas = np.asarray(sweep.offsets)
+        means = sweep.means
+        within = means[(deltas > 0) & (deltas < 2048)].mean()
+        across = means[deltas >= 2048].mean()
+        assert across > within
+
+    def test_delta_zero_is_distinct(self, sweep):
+        """Back-to-back same-line reads hit the line lock."""
+        deltas = np.asarray(sweep.offsets)
+        means = sweep.means
+        at_zero = means[deltas == 0][0]
+        neighbours = means[(deltas >= 64) & (deltas <= 512)].mean()
+        assert at_zero > neighbours
+
+    def test_differs_from_absolute_pattern(self, sweep):
+        """Figures 6 vs 8: absolute and relative offsets have distinct
+        signatures (the paper's third bullet in IV-C).  The relative
+        sweep anchors mid-segment, so its segment-crossing breakpoint
+        shifts relative to the absolute sweep's."""
+        absolute = absolute_offset_sweep(
+            offsets=range(0, 4352, 64), msg_size=64, samples=50
+        )
+        from repro.analysis import normalized_cross_correlation
+
+        ncc = normalized_cross_correlation(absolute.means, sweep.means)
+        assert ncc < 0.9

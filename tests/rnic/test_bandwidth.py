@@ -1,0 +1,212 @@
+"""Unit tests for the fluid contention model against Figure 4's
+observations and Key Findings 1-3."""
+
+import math
+
+import pytest
+
+from repro.rnic import BandwidthAllocator, FluidFlow, cx4, cx5, cx6
+from repro.verbs.enums import Opcode
+
+
+def alloc_pair(allocator, a, b):
+    result = allocator.allocate([a, b])
+    return result[a.flow_id], result[b.flow_id]
+
+
+@pytest.fixture
+def allocator():
+    return BandwidthAllocator(cx5())
+
+
+def read_flow(size, qp=8, **kw):
+    return FluidFlow(opcode=Opcode.RDMA_READ, msg_size=size, qp_num=qp, **kw)
+
+
+def write_flow(size, qp=8, **kw):
+    return FluidFlow(opcode=Opcode.RDMA_WRITE, msg_size=size, qp_num=qp, **kw)
+
+
+def atomic_flow(qp=8, **kw):
+    return FluidFlow(opcode=Opcode.ATOMIC_FETCH_ADD, msg_size=8, qp_num=qp, **kw)
+
+
+class TestSoloBandwidth:
+    def test_small_messages_are_pps_bound(self, allocator):
+        small = allocator.solo_bandwidth(read_flow(64, qp=1))
+        large = allocator.solo_bandwidth(read_flow(65536, qp=1))
+        assert small < large
+
+    def test_solo_increases_with_qp_count(self, allocator):
+        one = allocator.solo_bandwidth(read_flow(64, qp=1))
+        many = allocator.solo_bandwidth(read_flow(64, qp=8))
+        assert many > one
+
+    def test_solo_capped_by_demand(self, allocator):
+        flow = read_flow(4096, demand_bps=1e6)
+        assert allocator.solo_bandwidth(flow) == pytest.approx(1e6)
+
+    def test_large_flow_capped_by_pcie_on_cx5(self, allocator):
+        flow = write_flow(65536, qp=16)
+        solo = allocator.solo_bandwidth(flow)
+        assert solo <= cx5().pcie.usable_rate_bps
+
+    def test_device_ordering(self):
+        flow = read_flow(4096, qp=16)
+        bw = [BandwidthAllocator(s).solo_bandwidth(flow) for s in (cx4(), cx5(), cx6())]
+        assert bw[0] < bw[1] < bw[2]
+
+
+class TestKeyFinding1:
+    """Non-monotonic Write-vs-Read contention (Observation 1)."""
+
+    def test_small_write_loses_over_half(self, allocator):
+        write = write_flow(128)
+        read = read_flow(4096)
+        w_alone = allocator.solo_bandwidth(write)
+        w_contended, _ = alloc_pair(allocator, write, read)
+        assert w_contended < 0.5 * w_alone * 1.01
+
+    def test_small_write_hurts_only_medium_reads(self, allocator):
+        write = write_flow(128)
+        for size, expect_drop in ((64, False), (2048, True), (65536, False)):
+            read = read_flow(size)
+            r_alone = allocator.solo_bandwidth(read)
+            _, r_contended = alloc_pair(allocator, write, read)
+            drop = 1.0 - r_contended / r_alone
+            if expect_drop:
+                assert drop > 0.3, f"medium read should drop, got {drop:.2f}"
+            else:
+                assert drop < 0.15, f"read {size} should be ~unaffected, got {drop:.2f}"
+
+    def test_large_write_crushes_reads_30_to_80pct(self, allocator):
+        read = read_flow(4096)
+        r_alone = allocator.solo_bandwidth(read)
+        for wsize in (512, 4096, 32768):
+            write = write_flow(wsize)
+            _, r_contended = alloc_pair(allocator, write, read)
+            drop = 1.0 - r_contended / r_alone
+            assert 0.25 <= drop <= 0.85, f"wsize={wsize}: drop={drop:.2f}"
+
+    def test_drop_deepens_with_write_size(self, allocator):
+        read = read_flow(4096)
+        drops = []
+        for wsize in (512, 4096, 32768):
+            _, r = alloc_pair(allocator, write_flow(wsize), read)
+            drops.append(r)
+        assert drops[0] > drops[1] > drops[2]
+
+    def test_flip_at_512_bytes(self, allocator):
+        """The write flow's fortunes reverse at the 512 B boundary."""
+        read = read_flow(4096)
+        w_small = write_flow(256)
+        w_big = write_flow(1024)
+        ws_alone = allocator.solo_bandwidth(w_small)
+        wb_alone = allocator.solo_bandwidth(w_big)
+        ws, _ = alloc_pair(allocator, w_small, read)
+        wb, _ = alloc_pair(allocator, w_big, read)
+        assert ws / ws_alone < wb / wb_alone
+
+
+class TestKeyFinding2:
+    """Abnormal bandwidth increment for dueling small writes
+    (Observation 3: total can exceed 200 % of a single flow)."""
+
+    def test_small_writes_boost_each_other(self, allocator):
+        # pps-bound flows (few QPs): NoC activation raises the message-
+        # rate ceiling, so both flows exceed their solo bandwidth
+        a = write_flow(128, qp=2)
+        b = write_flow(128, qp=2)
+        solo = allocator.solo_bandwidth(a)
+        bw_a, bw_b = alloc_pair(allocator, a, b)
+        assert bw_a + bw_b > 2.0 * solo
+
+    def test_no_boost_for_large_writes(self, allocator):
+        a = write_flow(65536)
+        b = write_flow(65536)
+        solo = allocator.solo_bandwidth(a)
+        bw_a, bw_b = alloc_pair(allocator, a, b)
+        assert bw_a + bw_b <= 2.0 * solo * 1.001
+
+
+class TestKeyFinding3:
+    """Tx arbiter outranks Rx arbiter: read responses beat inbound
+    writes of identical shape (Observation 4)."""
+
+    def test_write_vs_reverse_read_asymmetric(self, allocator):
+        competitor = write_flow(4096)
+        # same wire shape, different arbiter
+        inbound_write = write_flow(256)
+        reverse_read = read_flow(256)
+        w_alone = allocator.solo_bandwidth(inbound_write)
+        r_alone = allocator.solo_bandwidth(reverse_read)
+        w, _ = alloc_pair(allocator, inbound_write, competitor)
+        r, _ = alloc_pair(allocator, reverse_read, competitor)
+        # the Tx-arbited read keeps a larger fraction than the write
+        assert r / r_alone > w / w_alone
+
+
+class TestAtomics:
+    """Observation 2: atomics behave like small writes in contention."""
+
+    def test_atomic_hurts_medium_read(self, allocator):
+        read = read_flow(2048)
+        r_alone = allocator.solo_bandwidth(read)
+        _, r = alloc_pair(allocator, atomic_flow(), read)
+        assert r < 0.8 * r_alone
+
+    def test_atomic_loses_to_large_write(self, allocator):
+        atomic = atomic_flow()
+        a_alone = allocator.solo_bandwidth(atomic)
+        a, _ = alloc_pair(allocator, atomic, write_flow(32768))
+        assert a < 0.6 * a_alone
+
+
+class TestQPScaling:
+    def test_interference_grows_with_competitor_qps(self, allocator):
+        read = read_flow(4096)
+        weak = write_flow(4096, qp=1)
+        strong = write_flow(4096, qp=16)
+        _, r_weak = alloc_pair(allocator, weak, read)
+        _, r_strong = alloc_pair(allocator, strong, read)
+        assert r_strong < r_weak
+
+
+class TestAllocatorMechanics:
+    def test_empty_allocation(self, allocator):
+        assert allocator.allocate([]) == {}
+
+    def test_single_flow_gets_solo(self, allocator):
+        flow = read_flow(4096)
+        alloc = allocator.allocate([flow])
+        assert alloc[flow.flow_id] == pytest.approx(allocator.solo_bandwidth(flow))
+
+    def test_capacity_never_exceeded(self, allocator):
+        flows = [write_flow(65536, qp=16) for _ in range(4)]
+        alloc = allocator.allocate(flows)
+        assert sum(alloc.values()) <= cx5().pcie.usable_rate_bps * 1.001
+
+    def test_utilizations_bounded(self, allocator):
+        flows = [write_flow(65536, qp=16), read_flow(64, qp=16)]
+        util = allocator.utilizations(flows)
+        for key, value in util.items():
+            assert 0.0 <= value <= 1.0, key
+
+    def test_flow_validation(self):
+        with pytest.raises(ValueError):
+            FluidFlow(opcode=Opcode.RDMA_READ, msg_size=0)
+        with pytest.raises(ValueError):
+            FluidFlow(opcode=Opcode.RDMA_READ, msg_size=64, qp_num=0)
+
+    def test_atomic_flow_size_forced_to_8(self):
+        flow = FluidFlow(opcode=Opcode.ATOMIC_CMP_SWP, msg_size=512)
+        assert flow.msg_size == 8
+
+    def test_demand_limited_flow_still_suffers_interference(self, allocator):
+        """The Figure 9 receiver: a tiny monitored flow must still see
+        its bandwidth move when a bully appears."""
+        monitor = read_flow(2048, qp=1, demand_bps=50e6)
+        bully = write_flow(32768, qp=16)
+        alone = allocator.allocate([monitor])[monitor.flow_id]
+        contended, _ = alloc_pair(allocator, monitor, bully)
+        assert contended < alone

@@ -1,0 +1,84 @@
+"""Unit tests for the set-associative LRU cache."""
+
+import pytest
+
+from repro.rnic import SetAssocCache
+
+
+def test_miss_then_hit():
+    cache = SetAssocCache(entries=8, ways=2)
+    assert cache.access("a") is False
+    assert cache.access("a") is True
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_lru_eviction_within_set():
+    # direct-mapped-like: 1 set, 2 ways
+    cache = SetAssocCache(entries=2, ways=2)
+    cache.access("a")
+    cache.access("b")
+    cache.access("a")          # a becomes MRU
+    cache.access("c")          # evicts b (LRU)
+    assert cache.probe("a")
+    assert not cache.probe("b")
+    assert cache.probe("c")
+    assert cache.evictions == 1
+
+
+def test_probe_does_not_update_state():
+    cache = SetAssocCache(entries=2, ways=2)
+    cache.access("a")
+    cache.access("b")
+    cache.probe("a")           # must NOT refresh a's LRU position
+    hits, misses = cache.hits, cache.misses
+    cache.access("c")          # evicts a, the true LRU
+    assert not cache.probe("a")
+    assert cache.hits == hits and cache.misses == misses + 1
+
+
+def test_invalidate():
+    cache = SetAssocCache(entries=4, ways=2)
+    cache.access("x")
+    assert cache.invalidate("x") is True
+    assert cache.invalidate("x") is False
+    assert not cache.probe("x")
+
+
+def test_flush_and_occupancy():
+    cache = SetAssocCache(entries=16, ways=4)
+    for key in range(10):
+        cache.access(key)
+    assert cache.occupancy == 10
+    cache.flush()
+    assert cache.occupancy == 0
+
+
+def test_hit_rate():
+    cache = SetAssocCache(entries=4, ways=4)
+    cache.access("k")
+    for _ in range(9):
+        cache.access("k")
+    assert cache.hit_rate == pytest.approx(0.9)
+
+
+def test_capacity_respected():
+    cache = SetAssocCache(entries=16, ways=4)
+    for key in range(100):
+        cache.access(key)
+    assert cache.occupancy <= 16
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ValueError):
+        SetAssocCache(entries=10, ways=4)
+    with pytest.raises(ValueError):
+        SetAssocCache(entries=0, ways=1)
+
+
+def test_reset_stats():
+    cache = SetAssocCache(entries=4, ways=2)
+    cache.access("a")
+    cache.access("a")
+    cache.reset_stats()
+    assert cache.hits == cache.misses == cache.evictions == 0
+    assert cache.probe("a")  # contents retained

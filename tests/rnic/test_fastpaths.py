@@ -1,0 +1,113 @@
+"""Tests for the inline-data fast path and the DDIO model."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.host import Cluster
+from repro.rnic import cx5
+from repro.verbs import Opcode, QPStateError, SendWR
+
+
+def small_cluster(spec=None, seed=0):
+    cluster = Cluster(seed=seed)
+    server = cluster.add_host("server", spec=spec if spec else cx5())
+    client = cluster.add_host("client", spec=spec if spec else cx5())
+    conn = cluster.connect(client, server, max_send_wr=8)
+    mr = server.reg_mr(2 * 1024 * 1024)
+    return cluster, server, client, conn, mr
+
+
+def write_latency(conn, mr, inline, n=20, length=64):
+    latencies = []
+    for i in range(n):
+        wr = SendWR(
+            opcode=Opcode.RDMA_WRITE,
+            local_addr=conn.local_mr.addr,
+            length=length,
+            remote_addr=mr.addr + 64 * (i % 8),
+            rkey=mr.rkey,
+            inline=inline,
+        )
+        conn.qp.post_send(wr)
+        latencies.append(conn.await_completions(1)[0].latency)
+    return float(np.mean(latencies[5:]))
+
+
+class TestInlineData:
+    def test_inline_write_is_faster(self):
+        """IBV_SEND_INLINE skips the payload-gather DMA round trip."""
+        _, _, _, conn, mr = small_cluster()
+        regular = write_latency(conn, mr, inline=False)
+        inline = write_latency(conn, mr, inline=True)
+        assert inline < regular - 200  # at least the TLP round trip
+
+    def test_inline_data_still_moves(self):
+        cluster, server, client, conn, mr = small_cluster()
+        client.memory.write(conn.local_mr.addr, b"inline-payload")
+        wr = SendWR(
+            opcode=Opcode.RDMA_WRITE,
+            local_addr=conn.local_mr.addr,
+            length=14,
+            remote_addr=mr.addr,
+            rkey=mr.rkey,
+            inline=True,
+        )
+        conn.qp.post_send(wr)
+        assert conn.await_completions(1)[0].ok
+        assert server.memory.read(mr.addr, 14) == b"inline-payload"
+
+    def test_inline_length_capped(self):
+        _, _, _, conn, mr = small_cluster()
+        limit = conn.qp.cap.max_inline_data
+        wr = SendWR(
+            opcode=Opcode.RDMA_WRITE,
+            local_addr=conn.local_mr.addr,
+            length=limit + 1,
+            remote_addr=mr.addr,
+            rkey=mr.rkey,
+            inline=True,
+        )
+        with pytest.raises(QPStateError):
+            conn.qp.post_send(wr)
+
+    def test_inline_read_rejected(self):
+        """Reads carry no request payload — nothing to inline."""
+        _, _, _, conn, mr = small_cluster()
+        wr = SendWR(
+            opcode=Opcode.RDMA_READ,
+            local_addr=conn.local_mr.addr,
+            length=8,
+            remote_addr=mr.addr,
+            rkey=mr.rkey,
+            inline=True,
+        )
+        with pytest.raises(QPStateError):
+            conn.qp.post_send(wr)
+
+
+class TestDDIO:
+    @staticmethod
+    def read_latencies(spec, n=60, seed=3):
+        _, _, _, conn, mr = small_cluster(spec=spec, seed=seed)
+        out = []
+        for i in range(n):
+            out.append(conn.read_blocking(mr, 64 * (i % 8), 64).latency)
+        return np.asarray(out[10:])
+
+    def test_disabled_by_default_like_the_paper(self):
+        assert cx5().ddio_enabled is False
+
+    def test_ddio_reduces_mean_latency(self):
+        off = self.read_latencies(cx5())
+        on = self.read_latencies(dataclasses.replace(cx5(), ddio_enabled=True))
+        assert on.mean() < off.mean()
+
+    def test_ddio_adds_variance(self):
+        """The reason TABLE IV disables DDIO: bimodal DMA latency widens
+        the measurement distribution."""
+        quiet = dataclasses.replace(cx5(), jitter_frac=0.0, spike_prob=0.0)
+        off = self.read_latencies(quiet)
+        on = self.read_latencies(dataclasses.replace(quiet, ddio_enabled=True))
+        assert on.std() > off.std() + 10.0

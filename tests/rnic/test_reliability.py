@@ -1,0 +1,133 @@
+"""Tests for packet loss and RC retransmission."""
+
+import dataclasses
+
+import pytest
+
+from repro.fabric import Link
+from repro.host import Cluster
+from repro.rnic import cx5
+from repro.verbs import Opcode, QPType, SendWR, WCStatus
+from repro.verbs.qp import QPCapabilities
+
+
+def lossy_cluster(loss, seed=0, spec=None):
+    cluster = Cluster(seed=seed)
+    server = cluster.add_host("server", spec=spec if spec else cx5())
+    client = cluster.add_host("client", spec=spec if spec else cx5(),
+                              link=Link(loss_probability=loss))
+    conn = cluster.connect(client, server, max_send_wr=8)
+    mr = server.reg_mr(2 * 1024 * 1024)
+    return cluster, server, client, conn, mr
+
+
+class TestLinkValidation:
+    def test_loss_probability_bounds(self):
+        with pytest.raises(ValueError):
+            Link(loss_probability=1.0)
+        with pytest.raises(ValueError):
+            Link(loss_probability=-0.1)
+
+    def test_path_loss_combines_links(self):
+        from repro.fabric import Network
+
+        network = Network()
+        network.attach("a", Link(loss_probability=0.1))
+        network.attach("b", Link(loss_probability=0.2))
+        assert network.loss_probability("a", "b") == pytest.approx(0.28)
+        assert network.loss_probability("a", "a") == 0.0
+
+
+class TestRCRetransmission:
+    def test_lossless_path_never_retransmits(self):
+        cluster, server, client, conn, mr = lossy_cluster(0.0)
+        for i in range(30):
+            assert conn.read_blocking(mr, 64 * (i % 8), 64).ok
+        assert client.rnic.counters.retransmits == 0
+
+    def test_reads_survive_moderate_loss(self):
+        """RC retries mask loss: every read eventually succeeds, and
+        the retransmit counter shows the recovery work."""
+        cluster, server, client, conn, mr = lossy_cluster(0.1, seed=3)
+        for i in range(50):
+            wc = conn.read_blocking(mr, 64 * (i % 8), 64)
+            assert wc.ok
+        assert client.rnic.counters.retransmits > 0
+
+    def test_retried_reads_take_longer(self):
+        import numpy as np
+
+        def mean_latency(loss, seed):
+            _, _, _, conn, mr = lossy_cluster(loss, seed=seed)
+            return np.mean([
+                conn.read_blocking(mr, 64 * (i % 8), 64).latency
+                for i in range(60)
+            ])
+
+        assert mean_latency(0.15, seed=1) > 1.2 * mean_latency(0.0, seed=1)
+
+    def test_retry_budget_exhaustion(self):
+        """On a nearly-dead link the retry budget runs out and the WQE
+        completes with RETRY_EXC_ERR."""
+        spec = dataclasses.replace(cx5(), retry_count=2)
+        cluster, server, client, conn, mr = lossy_cluster(0.95, seed=5,
+                                                          spec=spec)
+        statuses = []
+        for i in range(10):
+            conn.post_read(mr, 0, 64)
+            statuses.append(conn.await_completions(1)[0].status)
+            if statuses[-1] is not WCStatus.SUCCESS:
+                break
+        assert WCStatus.RETRY_EXC_ERR in statuses
+
+    def test_atomics_not_double_executed_on_response_loss(self):
+        """The responder's replay cache must make retried atomics
+        idempotent: N successful FAAs add exactly N."""
+        cluster, server, client, conn, mr = lossy_cluster(0.15, seed=7)
+        server.memory.write_u64(mr.addr, 0)
+        successes = 0
+        for _ in range(40):
+            conn.post_atomic(mr, 0, fetch_add=1)
+            if conn.await_completions(1)[0].ok:
+                successes += 1
+        assert client.rnic.counters.retransmits > 0
+        assert server.memory.read_u64(mr.addr) == successes
+
+
+class TestUnreliableTransport:
+    def make_uc_pair(self, loss, seed=0):
+        cluster = Cluster(seed=seed)
+        server = cluster.add_host("server", spec=cx5())
+        client = cluster.add_host("client", spec=cx5(),
+                                  link=Link(loss_probability=loss))
+        client_cq = client.context.create_cq()
+        server_cq = server.context.create_cq()
+        qp_c = client.context.create_qp(client.pd, client_cq,
+                                        qp_type=QPType.UC,
+                                        cap=QPCapabilities(max_send_wr=8))
+        qp_s = server.context.create_qp(server.pd, server_cq,
+                                        qp_type=QPType.UC,
+                                        cap=QPCapabilities(max_send_wr=8))
+        qp_c.connect(qp_s)
+        mr = server.reg_mr(4096)
+        buf = client.reg_mr(4096)
+        return cluster, server, client, qp_c, client_cq, mr, buf
+
+    def test_uc_write_completes_locally_even_when_lost(self):
+        cluster, server, client, qp, cq, mr, buf = self.make_uc_pair(0.9, seed=2)
+        losses = 0
+        for i in range(20):
+            client.memory.write(buf.addr, bytes([i]))
+            qp.post_send(SendWR(
+                opcode=Opcode.RDMA_WRITE, local_addr=buf.addr, length=1,
+                remote_addr=mr.addr + i, rkey=mr.rkey,
+            ))
+            cluster.sim.run(until=cluster.sim.now + 100_000)
+            wcs = cq.poll(4)
+            assert wcs and all(wc.ok for wc in wcs)
+            if server.memory.read(mr.addr + i, 1) != bytes([i]):
+                losses += 1
+        # fire-and-forget: completions all succeed, but data silently
+        # vanished on most attempts
+        assert losses > 5
+        assert client.rnic.counters.retransmits == 0

@@ -1,0 +1,69 @@
+"""Unit tests for the device parameter sheets (Table III)."""
+
+import pytest
+
+from repro.rnic import cx4, cx5, cx6, get_spec, SPEC_REGISTRY
+from repro.sim.units import gbps
+
+
+def test_table3_line_rates():
+    assert cx4().line_rate_bps == gbps(25)
+    assert cx5().line_rate_bps == gbps(100)
+    assert cx6().line_rate_bps == gbps(200)
+
+
+def test_table3_pcie_interfaces():
+    assert cx4().pcie.generation == 3 and cx4().pcie.lanes == 8
+    assert cx5().pcie.generation == 3 and cx5().pcie.lanes == 8
+    assert cx6().pcie.generation == 4 and cx6().pcie.lanes == 16
+
+
+def test_generation_speedups_monotonic():
+    # newer silicon is faster in every latency knob that matters
+    c4, c5, c6 = cx4(), cx5(), cx6()
+    for field in ("tpu_base_ns", "txpu_ns", "rxpu_ns", "tpu_mr_switch_ns",
+                  "tpu_sub8_penalty_ns", "tpu_bank_busy_ns"):
+        assert getattr(c4, field) > getattr(c5, field) > getattr(c6, field), field
+    assert c4.per_qp_mps < c5.per_qp_mps < c6.per_qp_mps
+
+
+def test_bank_geometry_produces_2048_periodicity():
+    # banks * line size must equal the observed 2048 B period (Fig 6)
+    for spec in (cx4(), cx5(), cx6()):
+        assert spec.tpu_banks * spec.tpu_line_bytes == spec.tpu_segment_bytes == 2048
+
+
+def test_wire_bytes_includes_headers():
+    spec = cx5()
+    assert spec.wire_bytes(64) == 64 + spec.header_bytes
+
+
+def test_serialize_ns_scales_with_size():
+    spec = cx5()
+    assert spec.serialize_ns(2048) > spec.serialize_ns(64)
+
+
+def test_pcie_dma_time_monotonic_in_size():
+    pcie = cx5().pcie
+    times = [pcie.dma_time_ns(n) for n in (0, 64, 256, 1024, 4096)]
+    assert times[0] == 0.0
+    assert all(a < b for a, b in zip(times[1:], times[2:]))
+
+
+def test_pcie_usable_below_raw():
+    pcie = cx6().pcie
+    assert pcie.usable_rate_bps < pcie.raw_rate_bps
+
+
+def test_get_spec_lookup():
+    assert get_spec("CX-5").name == "CX-5"
+    assert set(SPEC_REGISTRY) == {"CX-4", "CX-5", "CX-6"}
+    with pytest.raises(KeyError):
+        get_spec("CX-7")
+
+
+def test_pcie_is_bottleneck_on_cx5():
+    # the real CX-5 on gen3 x8 cannot sustain line rate through PCIe —
+    # the model preserves this well-known property
+    spec = cx5()
+    assert spec.pcie.usable_rate_bps < spec.line_rate_bps

@@ -1,0 +1,132 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30.0, fired.append, "c")
+    sim.schedule(10.0, fired.append, "a")
+    sim.schedule(20.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 30.0
+
+
+def test_equal_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(5):
+        sim.schedule(100.0, fired.append, tag)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_priority_breaks_time_ties():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100.0, fired.append, "low", priority=1)
+    sim.schedule(100.0, fired.append, "high", priority=-1)
+    sim.run()
+    assert fired == ["high", "low"]
+
+
+def test_schedule_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_raises():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_run_until_advances_clock_to_horizon():
+    sim = Simulator()
+    sim.schedule(50.0, lambda: None)
+    sim.schedule(500.0, lambda: None)
+    sim.run(until=100.0)
+    assert sim.now == 100.0
+    # the t=500 event is still pending
+    sim.run()
+    assert sim.now == 500.0
+
+
+def test_run_max_events():
+    sim = Simulator()
+    fired = []
+    for t in range(10):
+        sim.schedule(float(t), fired.append, t)
+    sim.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(5.0, lambda: fired.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == ["first", "second"]
+    assert sim.now == 6.0
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10.0, fired.append, "x")
+    event.cancel()
+    sim.schedule(20.0, fired.append, "y")
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+
+    def stopper():
+        fired.append("stop")
+        sim.stop()
+
+    sim.schedule(1.0, stopper)
+    sim.schedule(2.0, fired.append, "after")
+    sim.run()
+    assert fired == ["stop"]
+    # remaining event still pending and can be run later
+    sim.run()
+    assert fired == ["stop", "after"]
+
+
+def test_reset_clears_queue_and_clock():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    sim.schedule(5.0, lambda: None)
+    sim.reset()
+    assert sim.now == 0.0
+    assert sim.pending == 0
+
+
+def test_events_fired_counter():
+    sim = Simulator()
+    for t in range(7):
+        sim.schedule(float(t), lambda: None)
+    sim.run()
+    assert sim.events_fired == 7

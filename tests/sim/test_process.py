@@ -1,0 +1,134 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Simulator, Timeout, Waiter
+from repro.sim.process import Process, spawn
+
+
+def test_timeout_sleeps_for_given_delay():
+    sim = Simulator()
+    times = []
+
+    def proc():
+        times.append(sim.now)
+        yield Timeout(100.0)
+        times.append(sim.now)
+        yield Timeout(50.0)
+        times.append(sim.now)
+
+    spawn(sim, proc())
+    sim.run()
+    assert times == [0.0, 100.0, 150.0]
+
+
+def test_process_result_captured():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+        return 42
+
+    p = spawn(sim, proc())
+    sim.run()
+    assert p.finished
+    assert p.result == 42
+
+
+def test_waiter_resumes_with_value():
+    sim = Simulator()
+    waiter = Waiter()
+    got = []
+
+    def consumer():
+        value = yield waiter
+        got.append((sim.now, value))
+
+    spawn(sim, consumer())
+    sim.schedule(500.0, waiter.wake, "payload")
+    sim.run()
+    assert got == [(500.0, "payload")]
+
+
+def test_waiter_woken_before_await_does_not_lose_value():
+    sim = Simulator()
+    waiter = Waiter()
+    waiter.wake("early")
+    got = []
+
+    def consumer():
+        value = yield waiter
+        got.append(value)
+
+    spawn(sim, consumer())
+    sim.run()
+    assert got == ["early"]
+
+
+def test_waiter_double_wake_raises():
+    waiter = Waiter()
+    waiter.wake(1)
+    with pytest.raises(RuntimeError):
+        waiter.wake(2)
+
+
+def test_waiter_double_await_raises():
+    sim = Simulator()
+    waiter = Waiter()
+
+    def consumer():
+        yield waiter
+
+    spawn(sim, consumer())
+    spawn(sim, consumer())
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-5.0)
+
+
+def test_yielding_garbage_raises_type_error():
+    sim = Simulator()
+
+    def proc():
+        yield "not a command"
+
+    spawn(sim, proc())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    order = []
+
+    def proc(name, delay):
+        for _ in range(3):
+            yield Timeout(delay)
+            order.append((name, sim.now))
+
+    spawn(sim, proc("fast", 10.0))
+    spawn(sim, proc("slow", 25.0))
+    sim.run()
+    assert order == [
+        ("fast", 10.0),
+        ("fast", 20.0),
+        ("slow", 25.0),
+        ("fast", 30.0),
+        ("slow", 50.0),
+        ("slow", 75.0),
+    ]
+
+
+def test_process_class_name_default():
+    sim = Simulator()
+
+    def named():
+        yield Timeout(1.0)
+
+    p = Process(sim, named())
+    sim.run()
+    assert p.finished

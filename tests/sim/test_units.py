@@ -1,0 +1,40 @@
+"""Unit tests for time/size/rate conversion helpers."""
+
+import pytest
+
+from repro.sim import units
+
+
+def test_transfer_time_100gbps():
+    # 1250 bytes at 100 Gbps = 10000 bits / 100e9 bps = 100 ns
+    assert units.transfer_time_ns(1250, units.gbps(100)) == pytest.approx(100.0)
+
+
+def test_rate_to_ns_per_byte():
+    # 1 byte at 1 Gbps = 8 ns
+    assert units.rate_to_ns_per_byte(units.gbps(1)) == pytest.approx(8.0)
+
+
+def test_zero_rate_rejected():
+    with pytest.raises(ValueError):
+        units.rate_to_ns_per_byte(0.0)
+
+
+def test_negative_bytes_rejected():
+    with pytest.raises(ValueError):
+        units.transfer_time_ns(-1, units.gbps(1))
+
+
+def test_bits_bytes_roundtrip():
+    assert units.bits_to_bytes(units.bytes_to_bits(123.0)) == pytest.approx(123.0)
+
+
+def test_second_constants_consistent():
+    assert units.SECONDS == 1000 * units.MILLISECONDS
+    assert units.MILLISECONDS == 1000 * units.MICROSECONDS
+    assert units.MICROSECONDS == 1000 * units.NANOSECONDS
+
+
+def test_size_constants():
+    assert units.MEBIBYTE == 1024 * units.KIBIBYTE
+    assert units.GIBIBYTE == 1024 * units.MEBIBYTE

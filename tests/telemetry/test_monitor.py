@@ -1,0 +1,105 @@
+"""Unit tests for bandwidth monitors and counter samplers."""
+
+import pytest
+
+from repro.host import Cluster
+from repro.rnic import FluidFlow, cx5
+from repro.sim.units import MILLISECONDS, SECONDS
+from repro.telemetry import BandwidthMonitor, CounterSampler
+from repro.verbs.enums import Opcode
+
+
+def setup_cluster():
+    cluster = Cluster(seed=0)
+    server = cluster.add_host("server", spec=cx5())
+    client = cluster.add_host("client", spec=cx5())
+    return cluster, server, client
+
+
+def test_monitor_samples_at_interval():
+    cluster, server, _ = setup_cluster()
+    flow = FluidFlow(opcode=Opcode.RDMA_READ, msg_size=4096, qp_num=4)
+    server.rnic.add_fluid_flow(flow)
+    monitor = BandwidthMonitor(cluster.sim, server.rnic, flow,
+                               interval_ns=10 * MILLISECONDS)
+    monitor.start()
+    cluster.run_for(105 * MILLISECONDS)
+    assert len(monitor.samples) == 10
+    assert all(v > 0 for v in monitor.values)
+
+
+def test_monitor_sees_bandwidth_drop_when_bully_appears():
+    cluster, server, _ = setup_cluster()
+    victim = FluidFlow(opcode=Opcode.RDMA_READ, msg_size=4096, qp_num=4)
+    server.rnic.add_fluid_flow(victim)
+    monitor = BandwidthMonitor(cluster.sim, server.rnic, victim,
+                               interval_ns=10 * MILLISECONDS)
+    monitor.start()
+    bully = FluidFlow(opcode=Opcode.RDMA_WRITE, msg_size=32768, qp_num=16)
+    cluster.sim.schedule(50 * MILLISECONDS, server.rnic.add_fluid_flow, bully)
+    cluster.run_for(100 * MILLISECONDS)
+    values = monitor.values
+    assert values[-1] < values[0]
+
+
+def test_monitor_stop():
+    cluster, server, _ = setup_cluster()
+    flow = FluidFlow(opcode=Opcode.RDMA_READ, msg_size=4096)
+    server.rnic.add_fluid_flow(flow)
+    monitor = BandwidthMonitor(cluster.sim, server.rnic, flow,
+                               interval_ns=MILLISECONDS)
+    monitor.start()
+    cluster.run_for(5 * MILLISECONDS)
+    monitor.stop()
+    count = len(monitor.samples)
+    cluster.run_for(5 * MILLISECONDS)
+    assert len(monitor.samples) == count
+
+
+def test_monitor_double_start_rejected():
+    cluster, server, _ = setup_cluster()
+    flow = FluidFlow(opcode=Opcode.RDMA_READ, msg_size=64)
+    server.rnic.add_fluid_flow(flow)
+    monitor = BandwidthMonitor(cluster.sim, server.rnic, flow)
+    monitor.start()
+    with pytest.raises(RuntimeError):
+        monitor.start()
+
+
+def test_monitor_bad_interval():
+    cluster, server, _ = setup_cluster()
+    flow = FluidFlow(opcode=Opcode.RDMA_READ, msg_size=64)
+    with pytest.raises(ValueError):
+        BandwidthMonitor(cluster.sim, server.rnic, flow, interval_ns=0)
+
+
+def test_counter_sampler_measures_rates():
+    cluster, server, client = setup_cluster()
+    conn = cluster.connect(client, server, max_send_wr=32)
+    mr = server.reg_mr(1024 * 1024)
+    sampler = CounterSampler(cluster.sim, client.rnic,
+                             interval_ns=MILLISECONDS)
+    sampler.start()
+
+    def pump():
+        while conn.cq.poll(8):
+            pass
+        while conn.qp.outstanding_send < 32:
+            conn.post_read(mr, 0, 4096)
+        cluster.sim.schedule(50_000.0, pump)
+
+    cluster.sim.schedule(0.0, pump)
+    cluster.run_for(10 * MILLISECONDS)
+    rx_bps = sampler.series("rx_bps")
+    assert len(rx_bps) >= 9
+    assert max(rx_bps) > 0
+
+
+def test_counter_sampler_selected_keys():
+    cluster, server, _ = setup_cluster()
+    sampler = CounterSampler(cluster.sim, server.rnic,
+                             interval_ns=MILLISECONDS,
+                             keys=["tx_bytes"])
+    sampler.start()
+    cluster.run_for(3 * MILLISECONDS)
+    assert all(set(r) == {"time", "tx_bps"} for r in sampler.rates)

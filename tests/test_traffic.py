@@ -1,0 +1,138 @@
+"""Tests for the traffic generators."""
+
+import numpy as np
+import pytest
+
+from repro.host import Cluster
+from repro.rnic import cx5
+from repro.sim.units import MILLISECONDS
+from repro.traffic import (
+    ClosedLoopClient,
+    OpenLoopClient,
+    TraceReplayClient,
+    WorkloadMix,
+)
+from repro.verbs.enums import Opcode
+
+
+def make_testbed(max_send_wr=8, seed=0):
+    cluster = Cluster(seed=seed)
+    server = cluster.add_host("server", spec=cx5())
+    client = cluster.add_host("client", spec=cx5())
+    conn = cluster.connect(client, server, max_send_wr=max_send_wr)
+    mr = server.reg_mr(2 * 1024 * 1024)
+    return cluster, server, conn, mr
+
+
+class TestWorkloadMix:
+    def test_draw_respects_bounds(self):
+        _, _, _, mr = make_testbed()
+        mix = WorkloadMix(read_fraction=0.5, sizes=(64, 4096), align=64)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            opcode, offset, size = mix.draw(rng, mr)
+            assert opcode in (Opcode.RDMA_READ, Opcode.RDMA_WRITE)
+            assert offset % 64 == 0 or offset + size == mr.length
+            assert offset + size <= mr.length
+
+    def test_read_fraction_statistics(self):
+        _, _, _, mr = make_testbed()
+        mix = WorkloadMix(read_fraction=0.8)
+        rng = np.random.default_rng(1)
+        reads = sum(
+            1 for _ in range(500)
+            if mix.draw(rng, mr)[0] is Opcode.RDMA_READ
+        )
+        assert 340 < reads < 460
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadMix(read_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadMix(sizes=())
+        with pytest.raises(ValueError):
+            WorkloadMix(sizes=(64, 128), size_weights=(1.0,))
+        with pytest.raises(ValueError):
+            WorkloadMix(sizes=(64,), size_weights=(0.4,))
+
+
+class TestClosedLoop:
+    def test_maintains_depth_and_collects_stats(self):
+        cluster, _, conn, mr = make_testbed()
+        client = ClosedLoopClient(conn, mr, depth=4)
+        client.start()
+        cluster.run_for(2 * MILLISECONDS)
+        assert conn.qp.outstanding_send == 4
+        assert client.completed > 50
+        assert client.mean_latency > 0
+
+    def test_stop_drains(self):
+        cluster, _, conn, mr = make_testbed()
+        client = ClosedLoopClient(conn, mr, depth=4)
+        client.start()
+        cluster.run_for(MILLISECONDS)
+        client.stop()
+        cluster.run_for(MILLISECONDS)
+        assert conn.qp.outstanding_send == 0
+
+    def test_depth_validation(self):
+        _, _, conn, mr = make_testbed(max_send_wr=4)
+        with pytest.raises(ValueError):
+            ClosedLoopClient(conn, mr, depth=8)
+
+
+class TestOpenLoop:
+    def test_arrival_rate_approximated(self):
+        cluster, _, conn, mr = make_testbed(max_send_wr=64)
+        client = OpenLoopClient(conn, mr, rate_per_sec=100_000)
+        client.start()
+        cluster.run_for(5 * MILLISECONDS)
+        client.stop()
+        cluster.run_for(MILLISECONDS)
+        # ~500 expected arrivals in 5 ms at 100 kops/s
+        assert 350 < client.completed < 650
+        assert client.overruns == 0
+
+    def test_overload_counts_overruns(self):
+        cluster, _, conn, mr = make_testbed(max_send_wr=4)
+        # far beyond the pipeline's service rate with a tiny queue
+        client = OpenLoopClient(conn, mr, rate_per_sec=5_000_000)
+        client.start()
+        cluster.run_for(MILLISECONDS)
+        client.stop()
+        assert client.overruns > 0
+
+    def test_rate_validation(self):
+        _, _, conn, mr = make_testbed()
+        with pytest.raises(ValueError):
+            OpenLoopClient(conn, mr, rate_per_sec=0)
+
+
+class TestTraceReplay:
+    def test_replays_in_order(self):
+        cluster, server, conn, mr = make_testbed()
+        trace = [
+            (10_000.0, Opcode.RDMA_WRITE, 0, 64),
+            (5_000.0, Opcode.RDMA_READ, 64, 64),
+            (20_000.0, Opcode.RDMA_READ, 0, 64),
+        ]
+        client = TraceReplayClient(conn, mr, trace)
+        client.start()
+        cluster.run_for(MILLISECONDS)
+        assert client.completed == 3
+        assert client.dropped == 0
+
+    def test_oversubscribed_trace_drops(self):
+        cluster, _, conn, mr = make_testbed(max_send_wr=2)
+        trace = [(100.0 + i, Opcode.RDMA_READ, 0, 64) for i in range(20)]
+        client = TraceReplayClient(conn, mr, trace)
+        client.start()
+        cluster.run_for(MILLISECONDS)
+        assert client.dropped > 0
+        assert client.completed + client.dropped == 20
+
+    def test_one_callback_per_cq(self):
+        cluster, _, conn, mr = make_testbed()
+        TraceReplayClient(conn, mr, [])
+        with pytest.raises(RuntimeError):
+            ClosedLoopClient(conn, mr)

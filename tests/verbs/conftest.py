@@ -1,0 +1,45 @@
+"""Shared fixtures: a connected pair of contexts on ImmediateEngine."""
+
+import pytest
+
+from repro.verbs import (
+    AccessFlags,
+    Context,
+    ImmediateEngine,
+    QPCapabilities,
+)
+
+
+class ConnectedPair:
+    """Two contexts (client/server) with a connected RC QP pair and one
+    remotely accessible MR on each side."""
+
+    def __init__(self, latency: float = 0.0, max_send_wr: int = 128):
+        engine = ImmediateEngine(latency=latency)
+        self.engine = engine
+        self.client = Context(engine=engine, name="client")
+        self.server = Context(engine=engine, name="server")
+        self.client_pd = self.client.alloc_pd()
+        self.server_pd = self.server.alloc_pd()
+        self.client_cq = self.client.create_cq()
+        self.server_cq = self.server.create_cq()
+        self.client_qp = self.client.create_qp(
+            self.client_pd,
+            self.client_cq,
+            cap=QPCapabilities(max_send_wr=max_send_wr),
+        )
+        self.server_qp = self.server.create_qp(
+            self.server_pd,
+            self.server_cq,
+            cap=QPCapabilities(max_send_wr=max_send_wr),
+        )
+        self.client_qp.connect(self.server_qp)
+        self.client_mr = self.client.reg_mr(self.client_pd, 4096)
+        self.server_mr = self.server.reg_mr(
+            self.server_pd, 4096, access=AccessFlags.all_remote()
+        )
+
+
+@pytest.fixture
+def pair():
+    return ConnectedPair()

@@ -1,0 +1,83 @@
+"""Tests for doorbell batching (ibv_post_send's list form)."""
+
+import numpy as np
+import pytest
+
+from repro.host import Cluster
+from repro.rnic import cx5
+from repro.verbs import Opcode, QueueFullError, SendWR
+
+
+def make_conn(max_send_wr=16):
+    cluster = Cluster(seed=0)
+    server = cluster.add_host("server", spec=cx5())
+    client = cluster.add_host("client", spec=cx5())
+    conn = cluster.connect(client, server, max_send_wr=max_send_wr)
+    mr = server.reg_mr(2 * 1024 * 1024)
+    return cluster, conn, mr
+
+
+def make_reads(conn, mr, count):
+    return [
+        SendWR(opcode=Opcode.RDMA_READ, local_addr=conn.local_mr.addr,
+               length=64, remote_addr=mr.addr + 64 * i, rkey=mr.rkey)
+        for i in range(count)
+    ]
+
+
+def test_batch_completes_all():
+    cluster, conn, mr = make_conn()
+    conn.qp.post_send_batch(make_reads(conn, mr, 8))
+    wcs = conn.await_completions(8)
+    assert all(wc.ok for wc in wcs)
+
+
+def test_batch_atomic_rejection_posts_nothing():
+    cluster, conn, mr = make_conn()
+    wrs = make_reads(conn, mr, 3)
+    wrs[1] = SendWR(opcode=Opcode.RDMA_READ, local_addr=conn.local_mr.addr,
+                    length=64)  # missing remote_addr: invalid
+    from repro.verbs import QPStateError
+
+    with pytest.raises(QPStateError):
+        conn.qp.post_send_batch(wrs)
+    assert conn.qp.outstanding_send == 0
+
+
+def test_batch_capacity_checked_up_front():
+    cluster, conn, mr = make_conn(max_send_wr=4)
+    with pytest.raises(QueueFullError):
+        conn.qp.post_send_batch(make_reads(conn, mr, 5))
+    assert conn.qp.outstanding_send == 0
+
+
+def test_empty_batch_rejected():
+    cluster, conn, mr = make_conn()
+    with pytest.raises(ValueError):
+        conn.qp.post_send_batch([])
+
+
+def test_batching_amortizes_the_doorbell():
+    """Posting N WQEs as a batch costs one doorbell; the last
+    completion lands earlier than with N separate posts."""
+
+    def total_time(batched):
+        cluster, conn, mr = make_conn()
+        wrs = make_reads(conn, mr, 8)
+        if batched:
+            conn.qp.post_send_batch(wrs)
+        else:
+            for wr in wrs:
+                conn.qp.post_send(wr)
+        conn.await_completions(8)
+        return cluster.sim.now
+
+    assert total_time(batched=True) < total_time(batched=False)
+
+
+def test_queue_ahead_sequence_in_batch():
+    cluster, conn, mr = make_conn()
+    wrs = make_reads(conn, mr, 4)
+    conn.qp.post_send_batch(wrs)
+    assert [wr.queue_ahead for wr in wrs] == [0, 1, 2, 3]
+    conn.await_completions(4)

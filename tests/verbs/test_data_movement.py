@@ -1,0 +1,232 @@
+"""Integration tests: RDMA semantics through the ImmediateEngine."""
+
+import pytest
+
+from repro.verbs import (
+    AccessFlags,
+    Opcode,
+    RecvWR,
+    SendWR,
+    WCStatus,
+)
+
+from tests.verbs.conftest import ConnectedPair
+
+
+@pytest.fixture
+def pair():
+    return ConnectedPair(latency=100.0)
+
+
+def post_and_poll(pair, wr):
+    pair.client_qp.post_send(wr)
+    wcs = pair.client_cq.poll()
+    assert len(wcs) == 1
+    return wcs[0]
+
+
+def test_rdma_write_moves_bytes(pair):
+    payload = b"volatile-channel"
+    pair.client.memory.write(pair.client_mr.addr, payload)
+    wc = post_and_poll(
+        pair,
+        SendWR(
+            opcode=Opcode.RDMA_WRITE,
+            local_addr=pair.client_mr.addr,
+            length=len(payload),
+            remote_addr=pair.server_mr.addr,
+            rkey=pair.server_mr.rkey,
+        ),
+    )
+    assert wc.ok
+    assert pair.server.memory.read(pair.server_mr.addr, len(payload)) == payload
+
+
+def test_rdma_read_moves_bytes(pair):
+    payload = b"sherman-btree-64"
+    pair.server.memory.write(pair.server_mr.addr + 64, payload)
+    wc = post_and_poll(
+        pair,
+        SendWR(
+            opcode=Opcode.RDMA_READ,
+            local_addr=pair.client_mr.addr,
+            length=len(payload),
+            remote_addr=pair.server_mr.addr + 64,
+            rkey=pair.server_mr.rkey,
+        ),
+    )
+    assert wc.ok
+    assert pair.client.memory.read(pair.client_mr.addr, len(payload)) == payload
+
+
+def test_fetch_add_returns_old_value(pair):
+    pair.server.memory.write_u64(pair.server_mr.addr, 41)
+    wc = post_and_poll(
+        pair,
+        SendWR(
+            opcode=Opcode.ATOMIC_FETCH_ADD,
+            local_addr=pair.client_mr.addr,
+            remote_addr=pair.server_mr.addr,
+            rkey=pair.server_mr.rkey,
+            compare_add=1,
+        ),
+    )
+    assert wc.ok
+    assert pair.client.memory.read_u64(pair.client_mr.addr) == 41
+    assert pair.server.memory.read_u64(pair.server_mr.addr) == 42
+
+
+def test_cmp_swp_success_and_failure(pair):
+    addr = pair.server_mr.addr
+    pair.server.memory.write_u64(addr, 7)
+    # matching compare swaps
+    wc = post_and_poll(
+        pair,
+        SendWR(
+            opcode=Opcode.ATOMIC_CMP_SWP,
+            local_addr=pair.client_mr.addr,
+            remote_addr=addr,
+            rkey=pair.server_mr.rkey,
+            compare_add=7,
+            swap=99,
+        ),
+    )
+    assert wc.ok
+    assert pair.server.memory.read_u64(addr) == 99
+    # mismatching compare leaves value, returns current
+    wc = post_and_poll(
+        pair,
+        SendWR(
+            opcode=Opcode.ATOMIC_CMP_SWP,
+            local_addr=pair.client_mr.addr,
+            remote_addr=addr,
+            rkey=pair.server_mr.rkey,
+            compare_add=7,
+            swap=123,
+        ),
+    )
+    assert wc.ok
+    assert pair.server.memory.read_u64(addr) == 99
+    assert pair.client.memory.read_u64(pair.client_mr.addr) == 99
+
+
+def test_send_recv(pair):
+    msg = b"two-sided"
+    recv_buf = pair.server.memory.alloc(64)
+    pair.server_qp.post_recv(RecvWR(local_addr=recv_buf, length=64, wr_id=55))
+    pair.client.memory.write(pair.client_mr.addr, msg)
+    wc = post_and_poll(
+        pair,
+        SendWR(
+            opcode=Opcode.SEND,
+            local_addr=pair.client_mr.addr,
+            length=len(msg),
+        ),
+    )
+    assert wc.ok
+    recv_wcs = pair.server_cq.poll()
+    assert len(recv_wcs) == 1
+    assert recv_wcs[0].wr_id == 55
+    assert recv_wcs[0].byte_len == len(msg)
+    assert pair.server.memory.read(recv_buf, len(msg)) == msg
+
+
+def test_send_without_posted_recv_fails(pair):
+    wc = post_and_poll(
+        pair,
+        SendWR(opcode=Opcode.SEND, local_addr=pair.client_mr.addr, length=8),
+    )
+    assert wc.status is WCStatus.RETRY_EXC_ERR
+
+
+def test_remote_access_error_out_of_bounds(pair):
+    wc = post_and_poll(
+        pair,
+        SendWR(
+            opcode=Opcode.RDMA_READ,
+            local_addr=pair.client_mr.addr,
+            length=8,
+            remote_addr=pair.server_mr.end - 4,
+            rkey=pair.server_mr.rkey,
+        ),
+    )
+    assert wc.status is WCStatus.REM_ACCESS_ERR
+
+
+def test_remote_access_error_bad_rkey(pair):
+    wc = post_and_poll(
+        pair,
+        SendWR(
+            opcode=Opcode.RDMA_READ,
+            local_addr=pair.client_mr.addr,
+            length=8,
+            remote_addr=pair.server_mr.addr,
+            rkey=0xDEAD,
+        ),
+    )
+    assert wc.status is WCStatus.REM_ACCESS_ERR
+
+
+def test_write_to_read_only_mr_fails():
+    pair = ConnectedPair()
+    ro_mr = pair.server.reg_mr(
+        pair.server_pd, 4096, access=AccessFlags.REMOTE_READ
+    )
+    pair.client_qp.post_send(
+        SendWR(
+            opcode=Opcode.RDMA_WRITE,
+            local_addr=pair.client_mr.addr,
+            length=8,
+            remote_addr=ro_mr.addr,
+            rkey=ro_mr.rkey,
+        )
+    )
+    wc = pair.client_cq.poll()[0]
+    assert wc.status is WCStatus.REM_ACCESS_ERR
+
+
+def test_failed_wqe_moves_qp_to_err():
+    from repro.verbs.enums import QPState
+
+    pair = ConnectedPair()
+    pair.client_qp.post_send(
+        SendWR(
+            opcode=Opcode.RDMA_READ,
+            local_addr=pair.client_mr.addr,
+            length=8,
+            remote_addr=pair.server_mr.addr,
+            rkey=0xBAD,
+        )
+    )
+    assert pair.client_qp.state is QPState.ERR
+
+
+def test_latency_reflected_in_completion():
+    pair = ConnectedPair(latency=250.0)
+    pair.client_qp.post_send(
+        SendWR(
+            opcode=Opcode.RDMA_READ,
+            local_addr=pair.client_mr.addr,
+            length=8,
+            remote_addr=pair.server_mr.addr,
+            rkey=pair.server_mr.rkey,
+        )
+    )
+    wc = pair.client_cq.poll()[0]
+    assert wc.latency == pytest.approx(250.0)
+
+
+def test_unsignaled_wqe_produces_no_cqe():
+    pair = ConnectedPair()
+    pair.client_qp.post_send(
+        SendWR(
+            opcode=Opcode.RDMA_READ,
+            local_addr=pair.client_mr.addr,
+            length=8,
+            remote_addr=pair.server_mr.addr,
+            rkey=pair.server_mr.rkey,
+            signaled=False,
+        )
+    )
+    assert pair.client_cq.poll() == []
+    assert pair.client_qp.outstanding_send == 0

@@ -1,0 +1,61 @@
+"""Unit tests for verbs enumerations and their derived properties."""
+
+from repro.verbs import AccessFlags, Opcode, QPType
+from repro.verbs.enums import QP_TRANSITIONS, REQUIRED_REMOTE_ACCESS, QPState
+
+
+def test_one_sided_opcodes():
+    assert Opcode.RDMA_READ.is_one_sided
+    assert Opcode.RDMA_WRITE.is_one_sided
+    assert Opcode.ATOMIC_FETCH_ADD.is_one_sided
+    assert Opcode.ATOMIC_CMP_SWP.is_one_sided
+    assert not Opcode.SEND.is_one_sided
+    assert not Opcode.RECV.is_one_sided
+
+
+def test_atomic_opcodes():
+    assert Opcode.ATOMIC_FETCH_ADD.is_atomic
+    assert Opcode.ATOMIC_CMP_SWP.is_atomic
+    assert not Opcode.RDMA_READ.is_atomic
+
+
+def test_payload_direction():
+    # writes carry payload in the request, reads in the response
+    assert Opcode.RDMA_WRITE.carries_request_payload
+    assert not Opcode.RDMA_WRITE.response_carries_payload
+    assert Opcode.RDMA_READ.response_carries_payload
+    assert not Opcode.RDMA_READ.carries_request_payload
+    # atomics carry operands both ways but tiny; we model as no payload
+    assert not Opcode.ATOMIC_FETCH_ADD.carries_request_payload
+
+
+def test_qp_type_capabilities():
+    assert QPType.RC.supports_rdma_read
+    assert QPType.RC.supports_atomics
+    assert QPType.RC.acks_requests
+    assert not QPType.UC.supports_rdma_read
+    assert not QPType.UD.supports_atomics
+    assert not QPType.UD.acks_requests
+
+
+def test_access_flags_all_remote():
+    flags = AccessFlags.all_remote()
+    assert flags & AccessFlags.REMOTE_READ
+    assert flags & AccessFlags.REMOTE_WRITE
+    assert flags & AccessFlags.REMOTE_ATOMIC
+    assert flags & AccessFlags.LOCAL_WRITE
+
+
+def test_required_remote_access_covers_one_sided_ops():
+    for opcode in Opcode:
+        if opcode.is_one_sided:
+            assert opcode in REQUIRED_REMOTE_ACCESS
+
+
+def test_state_machine_is_closed():
+    # every reachable state has an outgoing rule and ERR always resets
+    for state, targets in QP_TRANSITIONS.items():
+        assert isinstance(state, QPState)
+        for target in targets:
+            assert isinstance(target, QPState)
+    assert QPState.RESET in QP_TRANSITIONS[QPState.ERR]

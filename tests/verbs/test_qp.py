@@ -1,0 +1,193 @@
+"""Unit tests for QP state machine and posting rules."""
+
+import pytest
+
+from repro.verbs import (
+    Context,
+    Opcode,
+    QPCapabilities,
+    QPStateError,
+    QPType,
+    QueueFullError,
+    RecvWR,
+    SendWR,
+)
+from repro.verbs.enums import QPState
+
+from tests.verbs.conftest import ConnectedPair
+
+
+def make_pair(**kwargs):
+    return ConnectedPair(**kwargs)
+
+
+class TestStateMachine:
+    def test_fresh_qp_is_reset(self):
+        ctx = Context()
+        pd = ctx.alloc_pd()
+        qp = ctx.create_qp(pd, ctx.create_cq())
+        assert qp.state is QPState.RESET
+
+    def test_connect_brings_both_to_rts(self):
+        pair = make_pair()
+        assert pair.client_qp.state is QPState.RTS
+        assert pair.server_qp.state is QPState.RTS
+        assert pair.client_qp.remote_qp is pair.server_qp
+        assert pair.server_qp.remote_qp is pair.client_qp
+
+    def test_illegal_transition_rejected(self):
+        ctx = Context()
+        pd = ctx.alloc_pd()
+        qp = ctx.create_qp(pd, ctx.create_cq())
+        with pytest.raises(QPStateError):
+            qp.modify(QPState.RTS)  # RESET -> RTS skips INIT/RTR
+
+    def test_transport_mismatch_rejected(self):
+        ctx_a, ctx_b = Context(), Context()
+        qp_a = ctx_a.create_qp(ctx_a.alloc_pd(), ctx_a.create_cq(), qp_type=QPType.RC)
+        qp_b = ctx_b.create_qp(ctx_b.alloc_pd(), ctx_b.create_cq(), qp_type=QPType.UC)
+        with pytest.raises(QPStateError):
+            qp_a.connect(qp_b)
+
+    def test_reconnect_of_connected_qp_rejected(self):
+        pair = make_pair()
+        ctx = Context()
+        other = ctx.create_qp(ctx.alloc_pd(), ctx.create_cq())
+        with pytest.raises(QPStateError):
+            pair.client_qp.connect(other)
+
+    def test_err_state_recovers_via_reset(self):
+        ctx = Context()
+        pd = ctx.alloc_pd()
+        qp = ctx.create_qp(pd, ctx.create_cq())
+        qp.modify(QPState.ERR)
+        qp.modify(QPState.RESET)
+        assert qp.state is QPState.RESET
+
+
+class TestPostingRules:
+    def test_post_before_rts_rejected(self):
+        ctx = Context()
+        pd = ctx.alloc_pd()
+        qp = ctx.create_qp(pd, ctx.create_cq())
+        with pytest.raises(QPStateError):
+            qp.post_send(SendWR(opcode=Opcode.RDMA_READ, remote_addr=0, rkey=0))
+
+    def test_send_queue_capacity_enforced(self):
+        pair = make_pair(max_send_wr=4)
+        # ImmediateEngine completes synchronously, so fill pressure is
+        # invisible; use an engine stub that never completes.
+        class BlackHoleEngine:
+            now = 0.0
+
+            def post_send(self, qp, wr):
+                wr.post_time = 0.0
+
+        pair.client.engine = BlackHoleEngine()
+        mr = pair.server_mr
+        for _ in range(4):
+            pair.client_qp.post_send(
+                SendWR(
+                    opcode=Opcode.RDMA_READ,
+                    local_addr=pair.client_mr.addr,
+                    length=8,
+                    remote_addr=mr.addr,
+                    rkey=mr.rkey,
+                )
+            )
+        assert pair.client_qp.outstanding_send == 4
+        assert pair.client_qp.send_queue_free == 0
+        with pytest.raises(QueueFullError):
+            pair.client_qp.post_send(
+                SendWR(
+                    opcode=Opcode.RDMA_READ,
+                    local_addr=pair.client_mr.addr,
+                    length=8,
+                    remote_addr=mr.addr,
+                    rkey=mr.rkey,
+                )
+            )
+
+    def test_queue_ahead_recorded(self):
+        pair = make_pair(max_send_wr=8)
+
+        class BlackHoleEngine:
+            now = 0.0
+            posted = []
+
+            def post_send(self, qp, wr):
+                self.posted.append(wr)
+
+        engine = BlackHoleEngine()
+        pair.client.engine = engine
+        mr = pair.server_mr
+        for _ in range(3):
+            pair.client_qp.post_send(
+                SendWR(
+                    opcode=Opcode.RDMA_READ,
+                    local_addr=pair.client_mr.addr,
+                    length=8,
+                    remote_addr=mr.addr,
+                    rkey=mr.rkey,
+                )
+            )
+        assert [wr.queue_ahead for wr in engine.posted] == [0, 1, 2]
+
+    def test_read_requires_remote_addr(self):
+        pair = make_pair()
+        with pytest.raises(QPStateError):
+            pair.client_qp.post_send(SendWR(opcode=Opcode.RDMA_READ, length=8))
+
+    def test_uc_rejects_rdma_read(self):
+        ctx_a, ctx_b = Context(), Context()
+        qp_a = ctx_a.create_qp(ctx_a.alloc_pd(), ctx_a.create_cq(), qp_type=QPType.UC)
+        qp_b = ctx_b.create_qp(ctx_b.alloc_pd(), ctx_b.create_cq(), qp_type=QPType.UC)
+        qp_a.connect(qp_b)
+        with pytest.raises(QPStateError):
+            qp_a.post_send(SendWR(opcode=Opcode.RDMA_READ, remote_addr=1, rkey=1, length=8))
+
+    def test_recv_queue_capacity(self):
+        pair = make_pair()
+        cap = pair.server_qp.cap.max_recv_wr
+        for _ in range(cap):
+            pair.server_qp.post_recv(RecvWR(local_addr=pair.server_mr.addr, length=64))
+        with pytest.raises(QueueFullError):
+            pair.server_qp.post_recv(RecvWR(local_addr=pair.server_mr.addr, length=64))
+
+    def test_atomic_length_forced_to_8(self):
+        wr = SendWR(opcode=Opcode.ATOMIC_FETCH_ADD, remote_addr=0, rkey=0, length=64)
+        assert wr.length == 8
+
+    def test_recv_opcode_rejected_in_send_wr(self):
+        with pytest.raises(ValueError):
+            SendWR(opcode=Opcode.RECV)
+
+    def test_destroy_with_outstanding_rejected(self):
+        pair = make_pair()
+
+        class BlackHoleEngine:
+            now = 0.0
+
+            def post_send(self, qp, wr):
+                pass
+
+        pair.client.engine = BlackHoleEngine()
+        pair.client_qp.post_send(
+            SendWR(
+                opcode=Opcode.RDMA_READ,
+                local_addr=pair.client_mr.addr,
+                length=8,
+                remote_addr=pair.server_mr.addr,
+                rkey=pair.server_mr.rkey,
+            )
+        )
+        from repro.verbs import ResourceError
+
+        with pytest.raises(ResourceError):
+            pair.client_qp.destroy()
+
+    def test_qp_capabilities_validation(self):
+        from repro.verbs import ResourceError
+
+        with pytest.raises(ResourceError):
+            QPCapabilities(max_send_wr=0)

@@ -1,0 +1,103 @@
+"""Tests for shared receive queues."""
+
+import pytest
+
+from repro.host import Cluster
+from repro.rnic import cx5
+from repro.verbs import (
+    Opcode,
+    QPStateError,
+    QueueFullError,
+    RecvWR,
+    ResourceError,
+    SendWR,
+    SharedReceiveQueue,
+    WCStatus,
+)
+
+
+def build_server_with_srq(num_clients=2, srq_capacity=8):
+    cluster = Cluster(seed=0)
+    server = cluster.add_host("server", spec=cx5())
+    srq = server.context.create_srq(capacity=srq_capacity)
+    server_cq = server.context.create_cq()
+    buf = server.reg_mr(64 * 1024)
+    connections = []
+    for index in range(num_clients):
+        client = cluster.add_host(f"client{index}", spec=cx5())
+        client_cq = client.context.create_cq()
+        client_qp = client.context.create_qp(client.pd, client_cq)
+        server_qp = server.context.create_qp(server.pd, server_cq, srq=srq)
+        client_qp.connect(server_qp)
+        client_mr = client.reg_mr(4096)
+        connections.append((client, client_qp, client_cq, client_mr))
+    return cluster, server, srq, server_cq, buf, connections
+
+
+class TestSRQBasics:
+    def test_capacity_enforced(self):
+        srq = SharedReceiveQueue(capacity=2)
+        srq.post_recv(RecvWR(local_addr=0x10000, length=64))
+        srq.post_recv(RecvWR(local_addr=0x10040, length=64))
+        with pytest.raises(QueueFullError):
+            srq.post_recv(RecvWR(local_addr=0x10080, length=64))
+
+    def test_take_fifo(self):
+        srq = SharedReceiveQueue(capacity=4)
+        srq.post_recv(RecvWR(local_addr=1, length=64, wr_id=1))
+        srq.post_recv(RecvWR(local_addr=2, length=64, wr_id=2))
+        assert srq.take().wr_id == 1
+        assert srq.take().wr_id == 2
+        with pytest.raises(QueueFullError):
+            srq.take()
+
+    def test_low_watermark(self):
+        srq = SharedReceiveQueue(capacity=8)
+        for i in range(4):
+            srq.post_recv(RecvWR(local_addr=i, length=64))
+        srq.take()
+        srq.take()
+        assert srq.low_watermark == 2
+
+    def test_destroy(self):
+        srq = SharedReceiveQueue(capacity=2)
+        srq.destroy()
+        with pytest.raises(ResourceError):
+            srq.post_recv(RecvWR(local_addr=0, length=64))
+        with pytest.raises(ResourceError):
+            srq.destroy()
+
+    def test_bad_capacity(self):
+        with pytest.raises(ResourceError):
+            SharedReceiveQueue(capacity=0)
+
+
+class TestSRQIntegration:
+    def test_sends_from_many_clients_share_one_pool(self):
+        cluster, server, srq, server_cq, buf, conns = build_server_with_srq()
+        for i in range(4):
+            srq.post_recv(RecvWR(local_addr=buf.addr + 256 * i, length=256,
+                                 wr_id=100 + i))
+        for index, (client, qp, cq, mr) in enumerate(conns):
+            client.memory.write(mr.addr, f"msg-{index}".encode())
+            qp.post_send(SendWR(opcode=Opcode.SEND, local_addr=mr.addr,
+                                length=5))
+        cluster.run_for(200_000)
+        wcs = server_cq.poll(8)
+        recv_wcs = [wc for wc in wcs if wc.opcode is Opcode.RECV]
+        assert len(recv_wcs) == 2
+        assert {wc.wr_id for wc in recv_wcs} <= {100, 101, 102, 103}
+
+    def test_qp_with_srq_rejects_direct_post_recv(self):
+        cluster, server, srq, server_cq, buf, conns = build_server_with_srq()
+        server_qp = conns[0][1].remote_qp
+        with pytest.raises(QPStateError):
+            server_qp.post_recv(RecvWR(local_addr=buf.addr, length=64))
+
+    def test_empty_srq_gives_rnr(self):
+        cluster, server, srq, server_cq, buf, conns = build_server_with_srq()
+        client, qp, cq, mr = conns[0]
+        qp.post_send(SendWR(opcode=Opcode.SEND, local_addr=mr.addr, length=4))
+        cluster.run_for(200_000)
+        wcs = cq.poll(2)
+        assert wcs and wcs[0].status is WCStatus.RETRY_EXC_ERR

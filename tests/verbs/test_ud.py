@@ -1,0 +1,124 @@
+"""Tests for the UD (unreliable datagram) transport."""
+
+import pytest
+
+from repro.host import Cluster
+from repro.rnic import cx5
+from repro.verbs import (
+    GRH_BYTES,
+    AddressHandle,
+    Opcode,
+    QPStateError,
+    QPType,
+    RecvWR,
+    SendWR,
+)
+from repro.verbs.qp import QPCapabilities
+
+
+def make_ud_endpoints(count=2, seed=0):
+    """``count`` hosts, each with one ready UD QP + a message buffer."""
+    cluster = Cluster(seed=seed)
+    endpoints = []
+    for i in range(count):
+        host = cluster.add_host(f"h{i}", spec=cx5())
+        cq = host.context.create_cq()
+        qp = host.context.create_qp(host.pd, cq, qp_type=QPType.UD,
+                                    cap=QPCapabilities(max_send_wr=8))
+        qp.ready()
+        buf = host.reg_mr(4096)
+        endpoints.append((host, qp, cq, buf))
+    return cluster, endpoints
+
+
+def test_ready_brings_ud_to_rts():
+    from repro.verbs.enums import QPState
+
+    cluster, ((_, qp, _, _), _) = make_ud_endpoints()
+    assert qp.state is QPState.RTS
+
+
+def test_rc_qp_cannot_use_ready():
+    cluster = Cluster(seed=0)
+    host = cluster.add_host("h", spec=cx5())
+    qp = host.context.create_qp(host.pd, host.context.create_cq())
+    with pytest.raises(QPStateError):
+        qp.ready()
+
+
+def test_ah_targets_ud_only():
+    cluster = Cluster(seed=0)
+    host = cluster.add_host("h", spec=cx5())
+    rc_qp = host.context.create_qp(host.pd, host.context.create_cq())
+    with pytest.raises(ValueError):
+        AddressHandle(remote_qp=rc_qp)
+
+
+def test_ud_send_delivers_with_grh():
+    cluster, endpoints = make_ud_endpoints()
+    (sender_host, sender_qp, sender_cq, sender_buf) = endpoints[0]
+    (recv_host, recv_qp, recv_cq, recv_buf) = endpoints[1]
+    recv_qp.post_recv(RecvWR(local_addr=recv_buf.addr, length=256, wr_id=9))
+    sender_host.memory.write(sender_buf.addr, b"datagram!")
+    sender_qp.post_send(SendWR(
+        opcode=Opcode.SEND, local_addr=sender_buf.addr, length=9,
+        ah=AddressHandle(remote_qp=recv_qp),
+    ))
+    cluster.run_for(100_000)
+    send_wcs = sender_cq.poll(4)
+    assert send_wcs and send_wcs[0].ok
+    recv_wcs = recv_cq.poll(4)
+    assert recv_wcs and recv_wcs[0].wr_id == 9
+    # the payload sits after the 40 B GRH
+    assert recv_wcs[0].byte_len == 9 + GRH_BYTES
+    assert recv_host.memory.read(recv_buf.addr + GRH_BYTES, 9) == b"datagram!"
+
+
+def test_ud_one_qp_reaches_many_destinations():
+    cluster, endpoints = make_ud_endpoints(count=4)
+    sender_host, sender_qp, sender_cq, sender_buf = endpoints[0]
+    sender_host.memory.write(sender_buf.addr, b"fanout")
+    for _, recv_qp, _, recv_buf in endpoints[1:]:
+        recv_qp.post_recv(RecvWR(local_addr=recv_buf.addr, length=128))
+        sender_qp.post_send(SendWR(
+            opcode=Opcode.SEND, local_addr=sender_buf.addr, length=6,
+            ah=AddressHandle(remote_qp=recv_qp),
+        ))
+    cluster.run_for(200_000)
+    for recv_host, _, recv_cq, recv_buf in endpoints[1:]:
+        assert recv_cq.poll(1)
+        assert recv_host.memory.read(recv_buf.addr + GRH_BYTES, 6) == b"fanout"
+
+
+def test_ud_rejects_rdma_ops():
+    cluster, endpoints = make_ud_endpoints()
+    _, sender_qp, _, sender_buf = endpoints[0]
+    _, recv_qp, _, _ = endpoints[1]
+    with pytest.raises(QPStateError):
+        sender_qp.post_send(SendWR(
+            opcode=Opcode.RDMA_WRITE, local_addr=sender_buf.addr, length=8,
+            remote_addr=0, rkey=0, ah=AddressHandle(remote_qp=recv_qp),
+        ))
+
+
+def test_ud_send_requires_ah():
+    cluster, endpoints = make_ud_endpoints()
+    _, sender_qp, _, sender_buf = endpoints[0]
+    with pytest.raises(QPStateError):
+        sender_qp.post_send(SendWR(
+            opcode=Opcode.SEND, local_addr=sender_buf.addr, length=8,
+        ))
+
+
+def test_ud_recv_buffer_must_cover_grh():
+    cluster, endpoints = make_ud_endpoints()
+    sender_host, sender_qp, sender_cq, sender_buf = endpoints[0]
+    _, recv_qp, recv_cq, recv_buf = endpoints[1]
+    # a buffer that fits the payload but not payload + GRH
+    recv_qp.post_recv(RecvWR(local_addr=recv_buf.addr, length=16))
+    sender_qp.post_send(SendWR(
+        opcode=Opcode.SEND, local_addr=sender_buf.addr, length=10,
+        ah=AddressHandle(remote_qp=recv_qp),
+    ))
+    cluster.run_for(100_000)
+    assert recv_cq.poll(1) == []   # dropped: buffer too small
