@@ -7,6 +7,7 @@ normalized cross-correlation (``CorrelationDetect`` in Algorithm 1).
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 import numpy as np
@@ -22,8 +23,9 @@ def normalized_cross_correlation(signal, template) -> float:
         raise ValueError("need at least two samples")
     s = s - s.mean()
     t = t - t.mean()
-    denom = np.linalg.norm(s) * np.linalg.norm(t)
-    if denom == 0.0:
+    denom = float(np.linalg.norm(s) * np.linalg.norm(t))
+    # a (near-)constant input has no shape to correlate against
+    if math.isclose(denom, 0.0, abs_tol=1e-12):
         return 0.0
     return float(np.dot(s, t) / denom)
 

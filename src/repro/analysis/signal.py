@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 
@@ -24,8 +26,8 @@ def normalize(values) -> np.ndarray:
     arr = np.asarray(values, dtype=np.float64)
     if arr.size == 0:
         return arr.copy()
-    lo, hi = arr.min(), arr.max()
-    if hi == lo:
+    lo, hi = float(arr.min()), float(arr.max())
+    if math.isclose(hi, lo, rel_tol=1e-12, abs_tol=1e-300):
         return np.zeros_like(arr)
     return (arr - lo) / (hi - lo)
 
@@ -33,8 +35,8 @@ def normalize(values) -> np.ndarray:
 def zscore(values) -> np.ndarray:
     """Zero-mean unit-variance scaling."""
     arr = np.asarray(values, dtype=np.float64)
-    std = arr.std()
-    if std == 0.0:
+    std = float(arr.std())
+    if math.isclose(std, 0.0, abs_tol=1e-12):
         return np.zeros_like(arr)
     return (arr - arr.mean()) / std
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import math
 
 import numpy as np
 
@@ -51,7 +52,9 @@ def pearson(x, y) -> float:
         raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
     if x.size < 2:
         raise ValueError("need at least two points")
-    sx, sy = x.std(), y.std()
-    if sx == 0.0 or sy == 0.0:
+    sx, sy = float(x.std()), float(y.std())
+    # near-zero spread (not just exactly zero) makes the quotient
+    # numerically meaningless
+    if math.isclose(sx, 0.0, abs_tol=1e-12) or math.isclose(sy, 0.0, abs_tol=1e-12):
         raise ValueError("constant input has undefined correlation")
     return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))

@@ -6,6 +6,7 @@ import dataclasses
 from typing import Sequence
 
 from repro.covert.framing import bit_error_rate, bsc_capacity
+from repro.sim.units import SECONDS
 
 
 @dataclasses.dataclass(frozen=True)
@@ -44,7 +45,7 @@ class ChannelResult:
     @property
     def bandwidth_bps(self) -> float:
         """Raw bandwidth: transmitted bits per second."""
-        return self.bits / (self.duration_ns / 1e9)
+        return self.bits / (self.duration_ns / SECONDS)
 
     @property
     def error_rate(self) -> float:

@@ -11,6 +11,7 @@ comparison.
 from __future__ import annotations
 
 from repro.defense.profile import TenantProfile, Verdict
+from repro.sim.units import SECONDS
 
 
 class CacheGuard:
@@ -27,7 +28,7 @@ class CacheGuard:
 
     def inspect(self, profile: TenantProfile) -> Verdict:
         """Flag tenants whose cache telemetry shows eviction storms."""
-        seconds = profile.duration_ns / 1e9
+        seconds = profile.duration_ns / SECONDS
         eviction_rate = profile.cache_evictions / seconds if seconds else 0.0
         if (profile.cache_accesses > 100
                 and profile.cache_miss_rate > self.miss_rate_threshold

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.defense.profile import TenantProfile, Verdict
 from repro.rnic.spec import RNICSpec
+from repro.sim.units import SECONDS, gbps
 
 
 class HarmonicDetector:
@@ -34,7 +35,7 @@ class HarmonicDetector:
         max_qps: int = 64,
         max_mrs: int = 64,
         tiny_size: int = 64,
-        tiny_write_pps_threshold: float = 1e6,
+        tiny_write_pps_threshold: float = 1e6,  # ragnar-lint: disable=RAG007 — a packet rate, not a time conversion
     ) -> None:
         self.spec = spec
         self.pps_fraction_threshold = pps_fraction_threshold
@@ -87,7 +88,7 @@ class HarmonicDetector:
             count for size, count in profile.msg_size_counts.items()
             if size <= self.tiny_size
         )
-        tiny_pps = tiny_writes / (profile.duration_ns / 1e9)
+        tiny_pps = tiny_writes / (profile.duration_ns / SECONDS)
         if (profile.write_fraction > 0.9
                 and tiny_pps > self.tiny_write_pps_threshold):
             return Verdict(self.name, True,
@@ -110,7 +111,7 @@ class HarmonicIsolation:
     """
 
     def __init__(self, detector: HarmonicDetector,
-                 cap_bps: float = 1e9) -> None:
+                 cap_bps: float = gbps(1.0)) -> None:
         if cap_bps <= 0:
             raise ValueError("cap must be positive")
         self.detector = detector

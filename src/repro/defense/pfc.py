@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.defense.profile import TenantProfile, Verdict
 from repro.rnic.spec import RNICSpec
+from repro.sim.units import GBPS
 
 
 class Grain1Detector:
@@ -35,8 +36,8 @@ class Grain1Detector:
                 detector=self.name,
                 flagged=True,
                 reason=(
-                    f"tenant {profile.tenant} at {rate / 1e9:.1f} Gbps "
-                    f"exceeds its {budget / 1e9:.1f} Gbps TC budget"
+                    f"tenant {profile.tenant} at {rate / GBPS:.1f} Gbps "
+                    f"exceeds its {budget / GBPS:.1f} Gbps TC budget"
                 ),
             )
         return Verdict(detector=self.name, flagged=False,

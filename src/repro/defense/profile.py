@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.sim.units import SECONDS, bytes_to_bits
 from repro.verbs.enums import Opcode
 
 #: Map of the snapshot keys produced by ``NICCounters.snapshot`` to
@@ -50,11 +51,11 @@ class TenantProfile:
 
     @property
     def avg_rate_bps(self) -> float:
-        return self.total_bytes * 8.0 / (self.duration_ns / 1e9)
+        return bytes_to_bits(self.total_bytes) / (self.duration_ns / SECONDS)
 
     @property
     def avg_pps(self) -> float:
-        return self.total_messages / (self.duration_ns / 1e9)
+        return self.total_messages / (self.duration_ns / SECONDS)
 
     @property
     def mean_msg_size(self) -> float:

@@ -15,13 +15,13 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Callable
 
 from repro.experiments import fig4, fig5, fig12, fig13, mitigation
 from repro.experiments import pythia_cmp, stealth, table1, table5, uli_linearity
 from repro.experiments.fig6_7_8 import run_fig6, run_fig7, run_fig8
 from repro.experiments.fig9_10_11 import run_fig9, run_fig10, run_fig11
+from repro.experiments.timing import wallclock
 
 #: Paper-scale parameter overrides used by ``--full``.  The defaults
 #: trade some statistical weight for runtime; ``--full`` restores the
@@ -89,7 +89,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiments: {unknown} (see --list)")
 
     for name in names:
-        started = time.time()
+        started = wallclock()
         runner = REGISTRY[name]
         kwargs = dict(FULL_SCALE.get(name, {})) if args.full else {}
         try:
@@ -98,7 +98,7 @@ def main(argv: list[str] | None = None) -> int:
             result = runner(**kwargs)  # a few runners take no seed
         print(result.format_table())
         path = result.save(args.out)
-        print(f"[{name}: {time.time() - started:.1f}s -> {path}]\n")
+        print(f"[{name}: {wallclock() - started:.1f}s -> {path}]\n")
     return 0
 
 

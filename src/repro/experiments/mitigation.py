@@ -17,6 +17,7 @@ from repro.defense.partition import PARTITION_OVERHEAD_NS, PartitionedTranslatio
 from repro.experiments.result import ExperimentResult
 from repro.rnic.spec import cx5
 from repro.rnic.translation import TranslationUnit
+from repro.sim.units import MILLISECONDS
 
 
 def run_noise(scales=(0.0, 1.0, 2.0, 4.0, 8.0), payload_bits: int = 96,
@@ -57,7 +58,7 @@ def run_partition(seed: int = 0) -> ExperimentResult:
         def probe(with_victim: bool) -> float:
             admit = make_admit()
             admit(0.0, 3072, "attacker")   # warm caches/segment register
-            now = 1e6
+            now = MILLISECONDS  # idle gap so the warm-up has drained
             if with_victim:
                 for _ in range(4):
                     now = admit(now, 0, "victim")

@@ -74,7 +74,7 @@ def _detectors_at_scale(scale: float, cache_guard: bool = True) -> list:
             atomic_fraction_threshold=max(0.5 * scale, 0.05),
             max_qps=max(int(64 * scale), 2),
             max_mrs=max(int(64 * scale), 2),
-            tiny_write_pps_threshold=1e6 * scale,
+            tiny_write_pps_threshold=1e6 * scale,  # ragnar-lint: disable=RAG007 — a packet rate, not a time conversion
         ),
     ]
     if cache_guard:

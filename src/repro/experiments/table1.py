@@ -35,7 +35,7 @@ def _perf_attack_profile() -> TenantProfile:
     spec = cx5()
     duration = 1 * SECONDS
     pps = spec.max_pps_rx * 0.8
-    count = int(pps * duration / 1e9)
+    count = int(pps * duration / SECONDS)
     return TenantProfile(
         tenant="perf-attacker",
         duration_ns=duration,
@@ -80,8 +80,8 @@ def _priority_tx_profile() -> TenantProfile:
     spec = cx5()
     duration = 16 * SECONDS  # the 16-bit Figure 9 stream
     # roughly half the time at each size, at the achievable rates
-    big_bytes = int(0.5 * duration / 1e9 * 40e9 / 8)
-    small_count = int(0.5 * duration / 1e9 * 20e6)
+    big_bytes = int(0.5 * duration / SECONDS * 40e9 / 8)
+    small_count = int(0.5 * duration / SECONDS * 20e6)
     big_count = big_bytes // 2048
     return TenantProfile(
         tenant="ragnar-priority-tx",

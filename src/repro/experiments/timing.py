@@ -1,0 +1,21 @@
+"""The CLI layer's single sanctioned wall-clock entry point.
+
+Everything under ``repro`` measures *simulated* time through
+``Simulator.now``; RAG001 (see docs/LINT.md) rejects host clock reads
+anywhere in the package so that replays stay bit-identical.  The one
+legitimate use is progress reporting in the experiment runner — and it
+goes through this module, which RAG001 allowlists.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wallclock() -> float:
+    """Monotonic host-clock seconds, for CLI progress reporting only.
+
+    Uses ``perf_counter`` rather than ``time.time`` so elapsed-time
+    deltas are immune to NTP steps and DST jumps.
+    """
+    return time.perf_counter()

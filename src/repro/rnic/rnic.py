@@ -29,6 +29,7 @@ from repro.rnic.spec import RNICSpec, cx5
 from repro.rnic.station import ServiceStation
 from repro.rnic.translation import TranslationUnit
 from repro.sim.kernel import Simulator
+from repro.sim.units import SECONDS, bytes_to_bits
 from repro.verbs.engine import Engine, execute_data_movement, resolve_remote_qp
 from repro.verbs.enums import WCStatus
 from repro.verbs.errors import RemoteAccessError
@@ -88,7 +89,7 @@ class RNIC(Engine):
         """Serialization time of a message including per-packet headers."""
         npkt = self._packets(payload)
         total_bytes = payload + npkt * self.spec.header_bytes
-        return total_bytes * 8.0 * 1e9 / self.spec.line_rate_bps
+        return bytes_to_bits(total_bytes) * SECONDS / self.spec.line_rate_bps
 
     def post_send_batch(self, qp: "QueuePair", wrs: list[SendWR]) -> None:
         """Doorbell batching: one MMIO doorbell launches the whole WQE

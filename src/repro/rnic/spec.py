@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.sim.units import gbps
+from repro.sim.units import SECONDS, bytes_to_bits, gbps
 
 
 @dataclasses.dataclass(frozen=True)
@@ -45,7 +45,7 @@ class PCIeSpec:
         if nbytes <= 0:
             return 0.0
         ntlp = (nbytes + self.max_payload - 1) // self.max_payload
-        transfer = nbytes * 8.0 * 1e9 / self.usable_rate_bps
+        transfer = bytes_to_bits(nbytes) * SECONDS / self.usable_rate_bps
         return ntlp * self.issue_overhead_ns + transfer
 
     def dma_time_ns(self, nbytes: int) -> float:
@@ -138,7 +138,7 @@ class RNICSpec:
         return payload + self.header_bytes
 
     def serialize_ns(self, payload: int) -> float:
-        return self.wire_bytes(payload) * 8.0 * 1e9 / self.line_rate_bps
+        return bytes_to_bits(self.wire_bytes(payload)) * SECONDS / self.line_rate_bps
 
 
 def cx4() -> RNICSpec:

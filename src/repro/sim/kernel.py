@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from typing import Any, Callable, Optional
 
 from repro.sim.event import Event, EventQueue
@@ -26,12 +28,13 @@ class Simulator:
     streams of :class:`~repro.sim.random.RandomStreams`.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, trace: bool = False) -> None:
         self.now: float = 0.0
         self.random = RandomStreams(seed)
         self._queue = EventQueue()
         self._running = False
         self._event_count = 0
+        self._trace = hashlib.blake2b(digest_size=16) if trace else None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -74,6 +77,12 @@ class Simulator:
             raise SimulationError("event queue time went backwards")
         self.now = event.time
         self._event_count += 1
+        if self._trace is not None:
+            callback = event.callback
+            label = getattr(callback, "__qualname__",
+                            type(callback).__name__)
+            self._trace.update(struct.pack("<dq", event.time, event.priority))
+            self._trace.update(label.encode("utf-8", "replace"))
         event.callback(*event.args)
         return True
 
@@ -115,8 +124,30 @@ class Simulator:
     def events_fired(self) -> int:
         return self._event_count
 
+    # ------------------------------------------------------------------
+    # Determinism tracing (see repro.lint.determinism)
+    # ------------------------------------------------------------------
+    def enable_tracing(self) -> None:
+        """Start folding every fired event's (time, priority, callback)
+        into a running digest.  Two identical-seed runs of a
+        deterministic workload produce identical digests; any divergence
+        pinpoints the first nondeterministic event ordering."""
+        if self._trace is None:
+            self._trace = hashlib.blake2b(digest_size=16)
+
+    @property
+    def trace_digest(self) -> Optional[str]:
+        """Hex digest of the event trace, or ``None`` when tracing is
+        off."""
+        if self._trace is None:
+            return None
+        return self._trace.hexdigest()
+
     def reset(self) -> None:
-        """Clear the queue and rewind the clock (random streams persist)."""
+        """Clear the queue and rewind the clock (random streams persist;
+        an enabled trace digest restarts empty)."""
         self._queue.clear()
         self.now = 0.0
         self._event_count = 0
+        if self._trace is not None:
+            self._trace = hashlib.blake2b(digest_size=16)

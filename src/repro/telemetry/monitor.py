@@ -8,7 +8,7 @@ from typing import Optional
 from repro.rnic.bandwidth import FluidFlow
 from repro.rnic.rnic import RNIC
 from repro.sim.kernel import Simulator
-from repro.sim.units import MILLISECONDS
+from repro.sim.units import MILLISECONDS, SECONDS
 
 
 @dataclasses.dataclass(frozen=True)
@@ -107,7 +107,7 @@ class CounterSampler:
         if not self._running:
             return
         snap = self.rnic.counters.snapshot()
-        seconds = self.interval_ns / 1e9
+        seconds = self.interval_ns / SECONDS
         rates = {"time": self.sim.now}
         keys = self.keys if self.keys is not None else [
             k for k in snap if k.endswith(("bytes", "packets"))

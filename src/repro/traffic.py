@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.host.cluster import RDMAConnection
+from repro.sim.units import SECONDS
 from repro.verbs.enums import Opcode
 from repro.verbs.errors import QueueFullError
 from repro.verbs.mr import MemoryRegion
@@ -148,7 +149,7 @@ class OpenLoopClient(_StatsMixin):
         self._record(wc)
 
     def _interarrival_ns(self) -> float:
-        return float(self.rng.exponential(1e9 / self.rate_per_sec))
+        return float(self.rng.exponential(SECONDS / self.rate_per_sec))
 
     def _arrival(self) -> None:
         if not self._running:

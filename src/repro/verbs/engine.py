@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.verbs.enums import REQUIRED_REMOTE_ACCESS, AccessFlags, Opcode, WCStatus
-from repro.verbs.errors import RemoteAccessError
+from repro.verbs.errors import QueueFullError, RemoteAccessError
 from repro.verbs.wr import SendWR
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -55,9 +55,12 @@ def execute_data_movement(qp: "QueuePair", wr: SendWR) -> WCStatus:
     opcode = wr.opcode
 
     if opcode is Opcode.SEND:
+        # An empty receive queue (QP or SRQ) is the RNR condition a real
+        # RNIC reports after exhausting retries; anything else (destroyed
+        # resources, state errors) is a caller bug and must propagate.
         try:
             recv_wr = remote_qp.take_recv()
-        except Exception:
+        except QueueFullError:
             return WCStatus.RETRY_EXC_ERR
         # UD receives carry a 40 B Global Routing Header before the
         # payload; the posted buffer must cover both

@@ -1,0 +1,18 @@
+"""Fixture: a module every RAGxxx rule accepts."""
+
+import math
+
+
+def to_seconds(duration_ns: float, nanoseconds_per_second: float) -> float:
+    return duration_ns / nanoseconds_per_second
+
+
+def nearly_equal(first_ns: float, second_ns: float) -> bool:
+    return math.isclose(first_ns, second_ns, rel_tol=1e-9)
+
+
+def guarded(mapping, key, default=None):
+    try:
+        return mapping[key]
+    except KeyError:
+        return default

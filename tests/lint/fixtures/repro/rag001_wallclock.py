@@ -1,0 +1,11 @@
+"""Fixture: RAG001 — wall-clock reads in simulator code."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def elapsed() -> float:
+    started = time.time()
+    _ = datetime.now()
+    return pc() - started

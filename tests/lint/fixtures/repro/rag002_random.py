@@ -1,0 +1,11 @@
+"""Fixture: RAG002 — global random / legacy numpy RNG state."""
+
+import random
+
+import numpy as np
+
+
+def draw() -> float:
+    np.random.seed(0)
+    jitter = np.random.rand()
+    return random.random() + jitter

@@ -1,0 +1,9 @@
+"""Fixture: RAG003 — exact float equality on time-like values."""
+
+
+def same_instant(event_time: float, now: float) -> bool:
+    return event_time == now
+
+
+def is_zero_latency(latency_ns: float) -> bool:
+    return latency_ns == 0.0

@@ -1,0 +1,15 @@
+"""Fixture: RAG004 — bare/over-broad except clauses."""
+
+
+def swallow(callback) -> int:
+    try:
+        return callback()
+    except Exception:
+        return -1
+
+
+def swallow_everything(callback) -> int:
+    try:
+        return callback()
+    except:  # noqa: E722
+        return -1

@@ -1,0 +1,11 @@
+"""Fixture: RAG005 — mutable default arguments."""
+
+
+def accumulate(sample: float, history: list = []) -> list:
+    history.append(sample)
+    return history
+
+
+def tally(key: str, *, counts: dict = {}) -> dict:
+    counts[key] = counts.get(key, 0) + 1
+    return counts

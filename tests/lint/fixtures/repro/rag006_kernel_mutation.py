@@ -1,0 +1,9 @@
+"""Fixture: RAG006 — kernel-state mutation from model code."""
+
+
+def rewind(sim, target: float) -> None:
+    sim.now = target
+
+
+def drop_pending(sim) -> None:
+    sim._queue.clear()

@@ -1,0 +1,9 @@
+"""Fixture: RAG007 — raw unit literals instead of sim.units."""
+
+
+def to_seconds(duration_ns: float) -> float:
+    return duration_ns / 1e9
+
+
+def to_milliseconds(duration_ns: float) -> float:
+    return duration_ns / 1_000_000

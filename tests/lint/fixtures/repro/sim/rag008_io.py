@@ -1,0 +1,7 @@
+"""Fixture: RAG008 — I/O inside a sim/model layer."""
+
+
+def fire(event) -> None:
+    print("firing", event)
+    with open("/tmp/trace.log", "a") as handle:
+        handle.write(repr(event))

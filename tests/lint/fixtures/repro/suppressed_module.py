@@ -1,0 +1,18 @@
+"""Fixture: real violations, each sanctioned by an inline suppression."""
+
+import time
+
+
+def elapsed(started: float) -> float:
+    return time.time() - started  # ragnar-lint: disable=RAG001
+
+
+def to_seconds(duration_ns: float) -> float:
+    return duration_ns / 1e9  # ragnar-lint: disable=RAG007
+
+
+def blanket(callback):
+    try:
+        return callback()
+    except Exception:  # ragnar-lint: disable=all
+        return None

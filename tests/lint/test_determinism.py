@@ -1,0 +1,138 @@
+"""Runtime determinism auditor: identical seeds must replay identically,
+and injected nondeterminism must be caught."""
+
+import dataclasses
+
+import pytest
+
+from repro.lint.determinism import (
+    AuditReport,
+    RunRecord,
+    audit_callable,
+    audit_experiment,
+    audit_simulator,
+    canonicalize,
+    fingerprint,
+    run_audit,
+)
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting
+# ----------------------------------------------------------------------
+
+def test_fingerprint_is_order_stable_for_dicts():
+    assert fingerprint({"a": 1, "b": 2.5}) == fingerprint({"b": 2.5, "a": 1})
+
+
+def test_fingerprint_distinguishes_close_floats():
+    assert fingerprint(0.1 + 0.2) != fingerprint(0.3)
+
+
+def test_canonicalize_unwraps_numpy_and_dataclasses():
+    import numpy as np
+
+    @dataclasses.dataclass
+    class Payload:
+        values: tuple
+
+    canon = canonicalize(Payload(values=(np.float64(1.5), np.arange(3))))
+    assert canon["__dataclass__"] == "Payload"
+    assert canon["values"] == [repr(1.5), [0, 1, 2]]
+
+
+# ----------------------------------------------------------------------
+# Simulator-level audit (event-trace digests)
+# ----------------------------------------------------------------------
+
+def drive_random_workload(sim):
+    """A toy workload that exercises clock, queue order and RNG."""
+    samples = []
+    rng = sim.random.stream("workload")
+
+    def tick(round_number):
+        samples.append((sim.now, round_number))
+        if round_number < 20:
+            sim.schedule(float(rng.integers(1, 50)), tick, round_number + 1)
+
+    sim.schedule(0.0, tick, 0)
+    sim.run()
+    return samples
+
+
+def test_identical_seeds_replay_identically():
+    report = audit_simulator(drive_random_workload, seed=7)
+    assert report.deterministic, report.summary()
+    assert report.runs[0].trace_digest is not None
+    assert report.runs[0].events_fired == 21
+
+
+def test_different_seeds_diverge():
+    first = audit_simulator(drive_random_workload, seed=1)
+    second = audit_simulator(drive_random_workload, seed=2)
+    assert first.runs[0].trace_digest != second.runs[0].trace_digest
+
+
+def test_injected_nondeterminism_is_caught():
+    state = {"calls": 0}
+
+    def impure():
+        state["calls"] += 1
+        return {"rows": state["calls"]}
+
+    report = audit_callable(impure, name="impure")
+    assert not report.deterministic
+    assert any("payload hash" in problem for problem in report.mismatches())
+
+
+def test_trace_digest_divergence_is_reported():
+    report = AuditReport(name="synthetic", seed=0, runs=(
+        RunRecord("same", trace_digest="aa", events_fired=3, final_time=1.0),
+        RunRecord("same", trace_digest="bb", events_fired=3, final_time=1.0),
+    ))
+    assert not report.deterministic
+    assert any("event-trace digest" in problem
+               for problem in report.mismatches())
+    assert "DIVERGED" in report.summary()
+
+
+def test_simulator_tracing_is_opt_in():
+    from repro.sim.kernel import Simulator
+
+    sim = Simulator(seed=0)
+    assert sim.trace_digest is None
+    sim.enable_tracing()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.trace_digest is not None
+
+
+# ----------------------------------------------------------------------
+# Experiment-level audits (the acceptance-criterion path)
+# ----------------------------------------------------------------------
+
+def test_grain3_inter_mr_experiment_is_deterministic():
+    """Two identical-seed runs of a Grain-III (inter-MR) covert-channel
+    experiment must produce bit-identical results."""
+    report = run_audit("inter-mr", seed=3)
+    assert report.deterministic, report.summary()
+
+
+def test_audit_experiment_wraps_runners():
+    from repro.experiments import table1
+
+    report = audit_experiment(table1.run, seed=1, name="table1")
+    assert report.deterministic, report.summary()
+    assert report.name == "table1"
+
+
+def test_auditors_reject_single_runs():
+    with pytest.raises(ValueError):
+        audit_callable(lambda: 1, runs=1)
+    with pytest.raises(ValueError):
+        audit_simulator(drive_random_workload, runs=1)
+
+
+def test_unknown_audit_name_raises():
+    with pytest.raises(KeyError):
+        run_audit("no-such-audit")

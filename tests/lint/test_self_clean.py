@@ -1,0 +1,32 @@
+"""The package must satisfy its own invariants: zero unsuppressed
+findings over src/repro, forever.  Any new violation fails CI here."""
+
+import pathlib
+
+from repro.lint import run_lint
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_src_repro_is_lint_clean():
+    report = run_lint([str(REPO / "src" / "repro")])
+    assert report.files_scanned > 100, "package walk looks truncated"
+    details = "\n".join(f.format() for f in report.active)
+    assert report.clean, f"unsuppressed lint findings:\n{details}"
+
+
+def test_suppressions_stay_rare_and_accounted_for():
+    """Inline suppressions are sanctioned exceptions, not an escape
+    hatch; review this budget when adding one."""
+    report = run_lint([str(REPO / "src" / "repro")])
+    assert len(report.suppressed) <= 10, \
+        "\n".join(f.format() for f in report.suppressed)
+
+
+def test_tests_tree_is_clean_for_global_rules():
+    """The tests tree (minus the intentionally-dirty fixture corpus)
+    passes the globally-scoped rules too."""
+    report = run_lint([str(REPO / "tests")],
+                      exclude=[str(REPO / "tests" / "lint" / "fixtures")])
+    details = "\n".join(f.format() for f in report.active)
+    assert report.clean, f"unsuppressed lint findings:\n{details}"
