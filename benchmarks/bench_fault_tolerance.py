@@ -1,0 +1,55 @@
+"""Fault tolerance: covert channels under the scenario catalogue.
+
+Runs the ``faults`` experiment (clean, Gilbert–Elliott bursty loss,
+PFC pause storm, RNR pressure) and asserts the robustness story:
+
+* the priority channel lives in the fluid bandwidth layer, so packet
+  and queue faults leave it error-free;
+* the ULI channels degrade but keep a usable effective bandwidth
+  under bursty loss and RNR pressure;
+* the ARQ link layer trades goodput for correctness — residual error
+  stays at zero while retransmissions eat into the rate.
+"""
+
+from benchmarks.conftest import quick_mode
+from repro.experiments import faults
+
+
+def run_fault_tolerance(payload_bits: int = 48, arq_bits: int = 16,
+                        seed: int = 0, smoke: bool = False):
+    return faults.run(seed=seed, payload_bits=payload_bits,
+                      arq_bits=arq_bits, smoke=smoke)
+
+
+def test_fault_tolerance(benchmark, report):
+    result = benchmark.pedantic(
+        run_fault_tolerance,
+        kwargs=dict(smoke=quick_mode()),
+        rounds=1, iterations=1,
+    )
+    report(result)
+    cells = {(row["scenario"], row["channel"]): row for row in result.rows}
+    scenarios = sorted({row["scenario"] for row in result.rows})
+
+    # fluid-layer immunity: the priority channel never takes a bit error
+    for scenario in scenarios:
+        assert cells[(scenario, "inter-traffic-class")]["error_rate"] == 0
+
+    # the clean baseline is (near-)error-free on the ULI channels
+    assert cells[("clean", "inter-mr")]["error_rate"] <= 0.1
+    assert cells[("clean", "intra-mr")]["error_rate"] <= 0.1
+
+    # degraded but alive: every scenario keeps some effective bandwidth
+    # on the inter-MR channel
+    for scenario in scenarios:
+        assert cells[(scenario, "inter-mr")]["effective_bps"] > 0
+
+    # ARQ buys correctness with goodput: residual error stays zero for
+    # every frame the budget covered, and faulty scenarios pay for it
+    # in retransmissions relative to clean
+    clean_goodput = cells[("clean", "inter-mr+arq")]["bandwidth_bps"]
+    for scenario in scenarios:
+        arq = cells[(scenario, "inter-mr+arq")]
+        if arq["failed_frames"] == 0:
+            assert arq["error_rate"] == 0
+        assert arq["bandwidth_bps"] <= clean_goodput * 1.05

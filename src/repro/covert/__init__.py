@@ -18,12 +18,22 @@ from repro.covert.framing import (
     bit_error_rate,
     bits_to_text,
     bsc_capacity,
+    crc8,
+    crc8_check,
     random_bits,
     text_to_bits,
     PAPER_BITSTREAM,
 )
 from repro.covert.result import ChannelResult
-from repro.covert.lockstep import PipelinedReader, decode_windows, detrend
+from repro.covert.lockstep import (
+    PipelinedReader,
+    RelockConfig,
+    decode_windows,
+    detrend,
+    estimate_drift,
+    relock_decode,
+)
+from repro.covert.arq import ArqConfig, ArqResult, arq_transmit
 from repro.covert.priority_channel import PriorityChannel, PriorityChannelConfig
 from repro.covert.inter_mr import InterMRChannel, InterMRConfig
 from repro.covert.intra_mr import IntraMRChannel, IntraMRConfig
@@ -36,9 +46,17 @@ from repro.covert.fec import (
 from repro.covert.multilevel import MultiLevelConfig, MultiLevelIntraMRChannel
 
 __all__ = [
+    "ArqConfig",
+    "ArqResult",
+    "arq_transmit",
     "bit_error_rate",
     "bits_to_text",
     "bsc_capacity",
+    "crc8",
+    "crc8_check",
+    "RelockConfig",
+    "estimate_drift",
+    "relock_decode",
     "random_bits",
     "text_to_bits",
     "PAPER_BITSTREAM",

@@ -41,6 +41,43 @@ def random_bits(count: int, seed: int = 0) -> list[int]:
     return [int(b) for b in rng.integers(0, 2, count)]
 
 
+#: CRC-8 generator polynomial x^8 + x^2 + x + 1 (the ATM HEC
+#: polynomial) — detects all single- and double-bit errors and any
+#: burst up to 8 bits within one frame, which matches the ULI
+#: channels' bursty error signature.
+CRC8_POLY = 0x07
+
+
+def _crc8_residue(bits: Sequence[int], flush: bool) -> int:
+    register = 0
+    stream = [1 if b else 0 for b in bits]
+    if flush:
+        stream += [0] * 8
+    for bit in stream:
+        carry = (register >> 7) & 1
+        register = ((register << 1) | bit) & 0xFF
+        if carry:
+            register ^= CRC8_POLY
+    return register
+
+
+def crc8(bits: Sequence[int]) -> list[int]:
+    """CRC-8 checksum of a bitstream, as 8 bits MSB first.
+
+    Appending the checksum to the message makes the whole frame divide
+    the generator exactly, which is what :func:`crc8_check` verifies.
+    """
+    residue = _crc8_residue(bits, flush=True)
+    return [(residue >> shift) & 1 for shift in range(7, -1, -1)]
+
+
+def crc8_check(frame: Sequence[int]) -> bool:
+    """True when ``frame`` (message ++ CRC-8) has a zero residue."""
+    if len(frame) < 8:
+        return False
+    return _crc8_residue(frame, flush=False) == 0
+
+
 def bit_error_rate(sent: Sequence[int], received: Sequence[int]) -> float:
     """Fraction of differing bits (missing bits count as errors)."""
     if not sent:

@@ -13,6 +13,7 @@ thresholded with 1-D 2-means.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -40,6 +41,7 @@ class PipelinedReader:
         conn: RDMAConnection,
         next_target: Callable[[], ProbeTarget],
         depth: Optional[int] = None,
+        halt_on_error: bool = False,
     ) -> None:
         self.conn = conn
         self.next_target = next_target
@@ -49,6 +51,13 @@ class PipelinedReader:
             raise ValueError(f"depth {self.depth} outside 1..{max_wr}")
         self.samples: list[tuple[float, float]] = []
         self.completed = 0
+        #: With ``halt_on_error`` the reader absorbs failed completions
+        #: (retry-budget exhaustion under injected faults) by going
+        #: silent instead of raising — the channel degrades, the
+        #: experiment survives.
+        self.halt_on_error = halt_on_error
+        self.errors = 0
+        self.halted = False
         self._running = False
         if conn.cq.on_completion is not None:
             raise RuntimeError("connection CQ already has a completion callback")
@@ -79,7 +88,12 @@ class PipelinedReader:
     def _on_completion(self, wc: WorkCompletion) -> None:
         self.conn.cq.poll(1)  # consume the entry we are handling
         if not wc.ok:
-            raise RuntimeError(f"pipelined read failed: {wc.status}")
+            if not self.halt_on_error:
+                raise RuntimeError(f"pipelined read failed: {wc.status}")
+            self.errors += 1
+            self.halted = True
+            self._running = False
+            return
         self.completed += 1
         midpoint = 0.5 * (wc.post_time + wc.complete_time)
         self.samples.append((midpoint, wc.unit_latency_increase))
@@ -177,10 +191,125 @@ def decode_windows(
     period: float,
     count: int,
     high_is_one: bool = True,
+    relock: Optional["RelockConfig"] = None,
 ) -> list[int]:
-    """Demodulate: per-window means, 2-means threshold, bit decisions."""
+    """Demodulate: per-window means, 2-means threshold, bit decisions.
+
+    With a :class:`RelockConfig` the frame is decoded in segments whose
+    symbol phase is re-estimated as it goes (see :func:`relock_decode`),
+    which tolerates clock drift between sender and receiver; without
+    one, a single phase locked at ``start`` must hold for the whole
+    frame.
+    """
+    if relock is not None:
+        bits, _ = relock_decode(
+            samples, start, period, count,
+            high_is_one=high_is_one, config=relock,
+        )
+        return bits
     means = window_means(samples, start, period, count)
     _, _, threshold = two_means(means)
     if high_is_one:
         return [1 if m > threshold else 0 for m in means]
     return [0 if m > threshold else 1 for m in means]
+
+
+@dataclasses.dataclass(frozen=True)
+class RelockConfig:
+    """Parameters of segment-wise symbol-phase re-locking.
+
+    Lockstep channels derive the symbol period from a warm-up estimate
+    of the receiver's completion rate; injected faults (pause storms,
+    loss bursts) change that rate mid-frame, so the true symbol
+    boundaries *drift* away from the phase locked on the preamble.
+    Re-estimating the phase every ``segment_bits`` symbols, within a
+    bounded window around the previous estimate, tracks the drift.
+    """
+
+    #: Symbols decoded per phase estimate; shorter tracks faster drift
+    #: but each estimate sees fewer windows and is noisier.
+    segment_bits: int = 32
+    #: Half-width of the per-segment search window, in symbols.  Bounds
+    #: how fast a drift can be tracked (and how far a noisy estimate
+    #: can run away).
+    max_step_symbols: float = 0.5
+    #: Candidate shifts evaluated per segment.
+    steps: int = 11
+
+    def __post_init__(self) -> None:
+        if self.segment_bits < 4:
+            raise ValueError("segments must cover at least 4 symbols")
+        if self.max_step_symbols <= 0.0:
+            raise ValueError("max step must be positive")
+        if self.steps < 3:
+            raise ValueError("need at least 3 candidate shifts")
+
+
+def relock_decode(
+    samples: Sequence[tuple[float, float]],
+    start: float,
+    period: float,
+    count: int,
+    high_is_one: bool = True,
+    config: RelockConfig = RelockConfig(),
+    initial_shift: float = 0.0,
+) -> tuple[list[int], list[float]]:
+    """Decode ``count`` symbols with segment-wise phase re-locking.
+
+    Each segment's phase is chosen blindly: among candidate shifts
+    centred on the previous segment's estimate, keep the one whose
+    window means have the largest spread (a mis-phased bucketing blends
+    adjacent symbols and regresses every mean toward the middle, so
+    spread is maximal at the true boundaries).  Thresholding is global
+    — one 2-means split over all segments — so a quiet segment cannot
+    invent its own threshold.
+
+    Returns ``(bits, shifts)`` where ``shifts`` holds the per-segment
+    phase estimates (ns, relative to ``start``); feed them to
+    :func:`estimate_drift` to quantify the clock skew.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    means = np.empty(count)
+    shifts: list[float] = []
+    shift = initial_shift
+    half = config.max_step_symbols * period
+    for seg_start in range(0, count, config.segment_bits):
+        seg_count = min(config.segment_bits, count - seg_start)
+        base = start + seg_start * period
+        best_shift, best_spread = shift, -np.inf
+        for candidate in np.linspace(shift - half, shift + half, config.steps):
+            seg_means = window_means(samples, base + candidate, period, seg_count)
+            spread = float(np.std(seg_means))
+            if spread > best_spread:
+                best_spread, best_shift = spread, float(candidate)
+        shift = best_shift
+        shifts.append(shift)
+        means[seg_start:seg_start + seg_count] = window_means(
+            samples, base + shift, period, seg_count
+        )
+    _, _, threshold = two_means(means)
+    if high_is_one:
+        bits = [1 if m > threshold else 0 for m in means]
+    else:
+        bits = [0 if m > threshold else 1 for m in means]
+    return bits, shifts
+
+
+def estimate_drift(
+    shifts: Sequence[float], segment_bits: int, period: float
+) -> float:
+    """Clock-drift rate implied by per-segment phase estimates.
+
+    Least-squares slope of phase shift against elapsed time, i.e. the
+    dimensionless skew between the sender's and receiver's effective
+    symbol clocks (1e-3 = the phase slips one full symbol every 1000
+    symbols).  Returns 0 when fewer than two segments exist.
+    """
+    if segment_bits <= 0 or period <= 0.0:
+        raise ValueError("segment_bits and period must be positive")
+    if len(shifts) < 2:
+        return 0.0
+    times = np.arange(len(shifts), dtype=np.float64) * segment_bits * period
+    slope = np.polyfit(times, np.asarray(shifts, dtype=np.float64), 1)[0]
+    return float(slope)

@@ -11,7 +11,7 @@ but error-free.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.covert.lockstep import decode_windows
 from repro.covert.result import ChannelResult
@@ -20,6 +20,9 @@ from repro.rnic.bandwidth import FluidFlow
 from repro.rnic.spec import RNICSpec, cx5
 from repro.sim.units import MILLISECONDS, SECONDS
 from repro.verbs.enums import Opcode
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.faults.plan import FaultPlan
 
 
 @dataclasses.dataclass(frozen=True)
@@ -38,6 +41,11 @@ class PriorityChannelConfig:
     monitor_demand_bps: float = 200e6
     bit_period_ns: float = 1.0 * SECONDS
     sample_interval_ns: float = 100 * MILLISECONDS
+    #: Fault scenario armed on the cluster before the transmission
+    #: starts (None runs clean).  The channel lives in the fluid
+    #: bandwidth layer, so packet loss barely touches it — which is
+    #: precisely what the faults experiment demonstrates.
+    fault_plan: Optional["FaultPlan"] = None
 
     def __post_init__(self) -> None:
         if self.bit_period_ns < 2 * self.sample_interval_ns:
@@ -68,6 +76,8 @@ class PriorityChannel:
         rnic = server.rnic
         # the paper's setup: two traffic classes in ETS mode, 50/50
         rnic.configure_ets({0: 0.5, 1: 0.5})
+        if cfg.fault_plan is not None:
+            cfg.fault_plan.install(cluster, server=server)
 
         # Rx: a small, demand-limited read flow it continuously measures
         monitor_flow = FluidFlow(
@@ -130,6 +140,8 @@ class PriorityChannel:
         server = cluster.add_host("server", spec=self.spec)
         rnic = server.rnic
         rnic.configure_ets({0: 0.5, 1: 0.5})
+        if cfg.fault_plan is not None:
+            cfg.fault_plan.install(cluster, server=server)
         monitor_flow = FluidFlow(
             opcode=Opcode.RDMA_READ,
             msg_size=cfg.monitor_size,

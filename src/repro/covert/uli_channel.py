@@ -26,14 +26,17 @@ background targets.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from repro.covert.lockstep import (
     PipelinedReader,
+    RelockConfig,
     decode_windows,
     detrend,
+    estimate_drift,
+    relock_decode,
     window_means,
     winsorize,
 )
@@ -44,6 +47,9 @@ from repro.host.node import Host
 from repro.rnic.spec import RNICSpec, cx5
 from repro.sim.units import MEBIBYTE, MICROSECONDS
 from repro.telemetry.uli import ProbeTarget
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.faults.plan import FaultPlan
 
 
 @dataclasses.dataclass(frozen=True)
@@ -77,6 +83,16 @@ class ULIChannelConfig:
     #: default).  Lossy links exercise the channels under RC
     #: retransmission spikes (``bench_ablation_lossy_fabric``).
     endpoint_link: Optional["Link"] = None
+    #: Fault scenario armed on the session's cluster before traffic
+    #: starts (see :mod:`repro.faults`); None runs clean.  With a plan
+    #: installed the endpoint readers absorb failed completions instead
+    #: of raising, so the channel degrades rather than crashing.
+    fault_plan: Optional["FaultPlan"] = None
+    #: Re-estimate the symbol phase every this many decoded bits (0 =
+    #: lock once on the preamble).  Fault scenarios perturb the
+    #: receiver's completion rate mid-frame; re-locking tracks the
+    #: resulting symbol-clock drift.
+    relock_interval_bits: int = 0
 
     def __post_init__(self) -> None:
         if self.samples_per_bit < 2:
@@ -87,6 +103,10 @@ class ULIChannelConfig:
             raise ValueError("preamble too short to recover symbol phase")
         if self.ambient_depth < 0:
             raise ValueError("ambient depth must be non-negative")
+        if self.relock_interval_bits < 0:
+            raise ValueError("relock interval must be non-negative")
+        if 0 < self.relock_interval_bits < 4:
+            raise ValueError("relock segments must cover at least 4 bits")
 
     @property
     def preamble(self) -> list[int]:
@@ -142,6 +162,10 @@ class _Session:
         tx_conn = self.cluster.connect(tx_host, server, max_send_wr=cfg.max_send_queue)
         rx_conn = self.cluster.connect(rx_host, server, max_send_wr=cfg.max_send_queue)
         channel.setup_server(server)
+        if cfg.fault_plan is not None:
+            cfg.fault_plan.install(
+                self.cluster, server=server, endpoints=[tx_host, rx_host]
+            )
 
         rx_targets = channel.receiver_targets()
         rx_cursor = [0]
@@ -160,10 +184,16 @@ class _Session:
             tx_cursor[0] += 1
             return target
 
-        self.receiver = PipelinedReader(rx_conn, next_rx_target)
+        # Under an armed fault plan the endpoints must survive failed
+        # completions (retry-budget exhaustion shows up as an errored
+        # CQE); a clean session keeps the loud fail-fast behaviour.
+        survive = cfg.fault_plan is not None
+        self.receiver = PipelinedReader(rx_conn, next_rx_target,
+                                        halt_on_error=survive)
         self.sender = PipelinedReader(
             tx_conn, next_tx_target,
             depth=min(cfg.sender_depth, cfg.max_send_queue),
+            halt_on_error=survive,
         )
         self.receiver.start()
         self.sender.start()
@@ -174,6 +204,8 @@ class _Session:
         """Run until the receiver has ``completions`` samples; returns
         the estimated inter-completion time."""
         while self.receiver.completed < completions:
+            if self.receiver.halted:
+                raise RuntimeError("receiver failed during warm-up")
             if not self.cluster.sim.step():
                 raise RuntimeError("simulation drained during warm-up")
         warm = self.receiver.samples[-(completions // 2):]
@@ -211,6 +243,10 @@ class ULIChannelBase:
     ) -> None:
         self.spec = spec if spec is not None else cx5()
         self.config = config if config is not None else ULIChannelConfig()
+        #: Phase estimates from the most recent transmit (drift
+        #: telemetry; one entry per re-lock segment).
+        self.last_shifts: list[float] = []
+        self.last_drift: float = 0.0
 
     # ------------------------------------------------------------------
     # Subclass hooks
@@ -273,7 +309,8 @@ class ULIChannelBase:
         frame: list[int],
     ) -> list[int]:
         """Outlier clipping, baseline removal, phase recovery on the
-        preamble, then window decoding."""
+        preamble, then window decoding — segment-wise re-locked when
+        ``relock_interval_bits`` is set."""
         cfg = self.config
         samples = winsorize(samples)
         samples = detrend(samples, half_window_ns=cfg.detrend_symbols * period)
@@ -287,6 +324,23 @@ class ULIChannelBase:
             contrast = sign * (ones.mean() - zeros.mean())
             if contrast > best_contrast:
                 best_contrast, best_shift = contrast, float(shift)
+        if cfg.relock_interval_bits > 0:
+            relock = RelockConfig(segment_bits=cfg.relock_interval_bits)
+            bits, shifts = relock_decode(
+                samples,
+                start + best_shift,
+                period,
+                len(frame),
+                high_is_one=self.high_is_one,
+                config=relock,
+            )
+            self.last_shifts = [best_shift + s for s in shifts]
+            self.last_drift = estimate_drift(
+                shifts, cfg.relock_interval_bits, period
+            )
+            return bits
+        self.last_shifts = [best_shift]
+        self.last_drift = 0.0
         return decode_windows(
             samples,
             start + best_shift,

@@ -4,20 +4,30 @@ Usage::
 
     python -m repro.experiments --list
     python -m repro.experiments table5 fig13
-    python -m repro.experiments --all --out results/
+    python -m repro.experiments --all --out results/ --retries 1
 
 Each experiment prints its paper-style table and writes it under the
 output directory.  Runtimes range from sub-second (table1) to a couple
 of minutes (fig13 at full scale).
+
+Experiments are *isolated*: a crash in one captures its traceback
+(written next to the results as ``<name>.error.txt``), the remaining
+experiments still run, and the process exits nonzero with a failure
+summary.  ``--retries N`` re-attempts a crashed experiment before
+giving up — useful on shared CI machines where a first run may trip
+over transient resource limits.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import pathlib
 import sys
+import traceback
 from typing import Callable
 
-from repro.experiments import fig4, fig5, fig12, fig13, mitigation
+from repro.experiments import faults, fig4, fig5, fig12, fig13, mitigation
 from repro.experiments import pythia_cmp, stealth, table1, table5, uli_linearity
 from repro.experiments.fig6_7_8 import run_fig6, run_fig7, run_fig8
 from repro.experiments.fig9_10_11 import run_fig9, run_fig10, run_fig11
@@ -55,7 +65,27 @@ REGISTRY: dict[str, Callable] = {
     "linearity": uli_linearity.run,
     "mitigation-noise": mitigation.run_noise,
     "mitigation-partition": mitigation.run_partition,
+    "faults": faults.run,
 }
+
+
+def _invoke(runner: Callable, seed: int, smoke: bool, kwargs: dict):
+    """Call a runner with only the keyword arguments it accepts.
+
+    Runners are plain functions with heterogeneous signatures (a few
+    take no ``seed``; only some support ``smoke``), so the dispatch
+    inspects the signature instead of guessing via TypeError.
+    """
+    params = inspect.signature(runner).parameters
+    accepts_var_kw = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+    call_kwargs = dict(kwargs)
+    if accepts_var_kw or "seed" in params:
+        call_kwargs["seed"] = seed
+    if smoke and (accepts_var_kw or "smoke" in params):
+        call_kwargs["smoke"] = True
+    return runner(**call_kwargs)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -75,7 +105,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--full", action="store_true",
                         help="paper-scale workloads (Figure 13's 6720 "
                              "traces etc.); expect tens of minutes")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shrunk payloads for CI-speed runs (only "
+                             "experiments that support it scale down)")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="re-attempts per crashed experiment before "
+                             "it is recorded as failed (default: 0)")
     args = parser.parse_args(argv)
+    if args.retries < 0:
+        parser.error("--retries must be non-negative")
 
     if args.list:
         for name in REGISTRY:
@@ -88,17 +126,41 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {unknown} (see --list)")
 
+    failures: dict[str, str] = {}
     for name in names:
         started = wallclock()
         runner = REGISTRY[name]
         kwargs = dict(FULL_SCALE.get(name, {})) if args.full else {}
-        try:
-            result = runner(seed=args.seed, **kwargs)
-        except TypeError:
-            result = runner(**kwargs)  # a few runners take no seed
+        result = None
+        error_text = ""
+        for attempt in range(args.retries + 1):
+            try:
+                result = _invoke(runner, args.seed, args.smoke, kwargs)
+                break
+            except Exception:  # ragnar-lint: disable=RAG004 — runner isolation: one crashing experiment must not abort the batch; the traceback is captured, written to the output dir and reported in the exit summary
+                error_text = traceback.format_exc()
+                if attempt < args.retries:
+                    print(f"[{name}: attempt {attempt + 1} crashed; "
+                          f"retrying]", file=sys.stderr)
+        if result is None:
+            failures[name] = error_text
+            out_dir = pathlib.Path(args.out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            error_path = out_dir / f"{name}.error.txt"
+            error_path.write_text(error_text)
+            print(error_text, file=sys.stderr)
+            print(f"[{name}: FAILED after {args.retries + 1} attempt(s) "
+                  f"-> {error_path}]\n", file=sys.stderr)
+            continue
         print(result.format_table())
         path = result.save(args.out)
         print(f"[{name}: {wallclock() - started:.1f}s -> {path}]\n")
+    if failures:
+        completed = len(names) - len(failures)
+        print(f"{len(failures)} of {len(names)} experiments failed "
+              f"({completed} completed): {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,5 +1,5 @@
 """The network fabric connecting RNICs: links and a single-switch LAN."""
 
-from repro.fabric.network import Link, Network, Switch
+from repro.fabric.network import Link, LinkFault, Network, Switch
 
-__all__ = ["Link", "Switch", "Network"]
+__all__ = ["Link", "LinkFault", "Switch", "Network"]

@@ -13,6 +13,42 @@ from __future__ import annotations
 import dataclasses
 from typing import Hashable
 
+import numpy as np
+
+
+class LinkFault:
+    """Dynamic per-link fault process consulted on every frame.
+
+    The base class is the identity fault (never drops, adds nothing).
+    Concrete processes — Gilbert–Elliott bursty loss, loss/latency
+    schedules, link flaps — live in :mod:`repro.faults.models`; the
+    fabric only defines the contract so lower layers stay independent
+    of the fault-injection subsystem.
+
+    Determinism contract: ``drop`` may consume random draws but ONLY
+    from the generator passed in (a named ``sim.random`` stream), and
+    any internal state must be a pure function of the draw sequence, so
+    identical seeds replay bit-identically.  ``reset`` must restore the
+    initial state; installers call it so one model instance can serve
+    several replays.
+    """
+
+    def drop(self, now: float, rng: np.random.Generator) -> bool:
+        """Whether a frame crossing the link at ``now`` is lost."""
+        return False
+
+    def extra_latency_ns(self, now: float) -> float:
+        """Additional one-way propagation delay at ``now``."""
+        return 0.0
+
+    def down(self, now: float) -> bool:
+        """Whether the link is administratively down at ``now``
+        (drops every frame without consuming randomness)."""
+        return False
+
+    def reset(self) -> None:
+        """Restore the initial state before a (re)install."""
+
 
 @dataclasses.dataclass(frozen=True)
 class Link:
@@ -50,6 +86,7 @@ class Network:
     def __init__(self, switch: Switch | None = None) -> None:
         self.switch = switch if switch is not None else Switch()
         self._links: dict[Hashable, Link] = {}
+        self._faults: dict[Hashable, LinkFault] = {}
 
     def attach(self, endpoint: Hashable, link: Link | None = None) -> None:
         """Attach an endpoint (an RNIC) with its access link."""
@@ -83,3 +120,58 @@ class Network:
             return 0.0
         survive = (1.0 - src_link.loss_probability) * (1.0 - dst_link.loss_probability)
         return 1.0 - survive
+
+    # ------------------------------------------------------------------
+    # Dynamic faults (see repro.faults)
+    # ------------------------------------------------------------------
+    def set_fault(self, endpoint: Hashable, fault: LinkFault | None) -> None:
+        """Install (or clear, with ``None``) a dynamic fault process on
+        one endpoint's access link.  The model is ``reset()`` on
+        install so replays from a fresh simulator start identically."""
+        if endpoint not in self._links:
+            raise KeyError(f"endpoint {endpoint!r} not attached")
+        if fault is None:
+            self._faults.pop(endpoint, None)
+            return
+        fault.reset()
+        self._faults[endpoint] = fault
+
+    def fault_of(self, endpoint: Hashable) -> LinkFault | None:
+        """The dynamic fault process installed on an endpoint's link."""
+        return self._faults.get(endpoint)
+
+    def frame_lost(
+        self, src: Hashable, dst: Hashable,
+        now: float, rng: np.random.Generator,
+    ) -> bool:
+        """Whether one frame crossing ``src -> dst`` at ``now`` is lost.
+
+        Combines the static Bernoulli ``loss_probability`` of the two
+        access links with any installed dynamic fault processes.  The
+        random draw order (static first, then ``src``'s model, then
+        ``dst``'s) is fixed so replays are bit-identical; with no loss
+        configured, no randomness is consumed at all, keeping
+        pre-existing seeds stable.
+        """
+        if src is dst:
+            return False
+        static = self.loss_probability(src, dst)
+        if static > 0.0 and rng.random() < static:
+            return True
+        for endpoint in (src, dst):
+            fault = self._faults.get(endpoint)
+            if fault is not None and (fault.down(now) or fault.drop(now, rng)):
+                return True
+        return False
+
+    def path_extra_ns(self, src: Hashable, dst: Hashable, now: float) -> float:
+        """Fault-injected extra one-way latency on the ``src -> dst``
+        path at ``now`` (0 when no latency faults are installed)."""
+        if src is dst or not self._faults:
+            return 0.0
+        extra = 0.0
+        for endpoint in (src, dst):
+            fault = self._faults.get(endpoint)
+            if fault is not None:
+                extra += fault.extra_latency_ns(now)
+        return extra

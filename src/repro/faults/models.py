@@ -1,0 +1,210 @@
+"""Deterministic per-link fault models.
+
+Each model subclasses :class:`repro.fabric.network.LinkFault` and is
+consulted by the fabric on every frame (``drop``/``down``) and every
+transit-time computation (``extra_latency_ns``).  All models honour the
+LinkFault determinism contract: randomness comes only from the
+``np.random.Generator`` passed into ``drop`` (a named ``sim.random``
+stream), internal state is a pure function of the draw sequence, and
+``reset`` restores the initial state so one instance can serve several
+bit-identical replays.
+
+The models are small on purpose — robustness experiments compose them
+through :class:`repro.faults.plan.FaultPlan` rather than growing one
+monolithic fault class.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+
+import numpy as np
+
+from repro.fabric.network import LinkFault
+from repro.sim.units import MICROSECONDS, MILLISECONDS
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+@dataclasses.dataclass
+class GilbertElliott(LinkFault):
+    """Two-state Markov (Gilbert–Elliott) bursty frame loss.
+
+    The chain has a *good* state with loss ``loss_good`` (usually 0)
+    and a *bad* state with loss ``loss_bad``; each frame first advances
+    the chain (one uniform draw) and then samples loss in the current
+    state (a second draw only when that state's loss is positive).
+    Mean burst length is ``1 / p_exit_bad`` frames and the stationary
+    bad-state probability is ``p_enter_bad / (p_enter_bad +
+    p_exit_bad)``, which makes calibrating an average loss rate easy.
+    """
+
+    #: P(good -> bad) evaluated once per frame.
+    p_enter_bad: float = 0.002
+    #: P(bad -> good) evaluated once per frame; 1/p is the mean burst.
+    p_exit_bad: float = 0.1
+    #: Loss probability while in the good state.
+    loss_good: float = 0.0
+    #: Loss probability while in the bad state.
+    loss_bad: float = 0.5
+    #: Initial chain state (restored by ``reset``).
+    start_bad: bool = False
+
+    def __post_init__(self) -> None:
+        _check_probability("p_enter_bad", self.p_enter_bad)
+        _check_probability("p_exit_bad", self.p_exit_bad)
+        _check_probability("loss_good", self.loss_good)
+        _check_probability("loss_bad", self.loss_bad)
+        self._bad = self.start_bad
+
+    def reset(self) -> None:
+        self._bad = self.start_bad
+
+    @property
+    def stationary_loss(self) -> float:
+        """Long-run average loss probability of the chain."""
+        total = self.p_enter_bad + self.p_exit_bad
+        if total > 0.0:
+            pi_bad = self.p_enter_bad / total
+        else:  # frozen chain: it stays wherever it starts
+            pi_bad = 1.0 if self.start_bad else 0.0
+        return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+
+    def drop(self, now: float, rng: np.random.Generator) -> bool:
+        # Advance the chain, then sample loss in the state we landed in.
+        # Draw order is fixed (transition draw always happens, loss draw
+        # only when the state is lossy) so replays are bit-identical.
+        if self._bad:
+            if rng.random() < self.p_exit_bad:
+                self._bad = False
+        elif rng.random() < self.p_enter_bad:
+            self._bad = True
+        loss = self.loss_bad if self._bad else self.loss_good
+        return bool(loss > 0.0 and rng.random() < loss)
+
+
+@dataclasses.dataclass(frozen=True)
+class PiecewiseSchedule:
+    """A right-continuous step function of simulated time.
+
+    ``points`` is a sequence of ``(start_ns, value)`` breakpoints; the
+    value at ``now`` is the one of the latest breakpoint at or before
+    ``now``, or ``default`` before the first breakpoint.  Used to drive
+    time-varying loss rates and latency inflation without consuming any
+    randomness.
+    """
+
+    points: tuple[tuple[float, float], ...] = ()
+    default: float = 0.0
+
+    def __post_init__(self) -> None:
+        starts = [start for start, _ in self.points]
+        if starts != sorted(starts):
+            raise ValueError("schedule breakpoints must be sorted by time")
+
+    def value_at(self, now: float) -> float:
+        index = bisect.bisect_right([s for s, _ in self.points], now)
+        if index == 0:
+            return self.default
+        return self.points[index - 1][1]
+
+
+@dataclasses.dataclass
+class LossSchedule(LinkFault):
+    """Time-varying Bernoulli frame loss driven by a schedule.
+
+    Unlike :class:`GilbertElliott`, losses are independent frame to
+    frame; only the *rate* changes over time.  No draw is consumed
+    while the scheduled rate is zero, so a schedule that is zero
+    everywhere is draw-for-draw identical to no fault at all.
+    """
+
+    schedule: PiecewiseSchedule = dataclasses.field(
+        default_factory=PiecewiseSchedule
+    )
+
+    def drop(self, now: float, rng: np.random.Generator) -> bool:
+        loss = self.schedule.value_at(now)
+        _check_probability("scheduled loss", loss)
+        return bool(loss > 0.0 and rng.random() < loss)
+
+
+@dataclasses.dataclass
+class LatencySchedule(LinkFault):
+    """Time-varying extra one-way propagation delay (ns).
+
+    Models congestion epochs or a rerouted path: every frame crossing
+    the link while the schedule is positive arrives later by the
+    scheduled amount.  Purely deterministic — consumes no randomness.
+    """
+
+    schedule: PiecewiseSchedule = dataclasses.field(
+        default_factory=PiecewiseSchedule
+    )
+
+    def extra_latency_ns(self, now: float) -> float:
+        extra = self.schedule.value_at(now)
+        if extra < 0.0:
+            raise ValueError(f"scheduled latency must be >= 0, got {extra!r}")
+        return extra
+
+
+@dataclasses.dataclass
+class LinkFlap(LinkFault):
+    """Periodic administrative link flaps.
+
+    Starting at ``first_down_ns`` the link goes down for ``down_ns``
+    out of every ``period_ns``.  While down, every frame is dropped
+    without consuming randomness (the cable is unplugged, not lossy).
+    """
+
+    first_down_ns: float = 1 * MILLISECONDS
+    period_ns: float = 2 * MILLISECONDS
+    down_ns: float = 200 * MICROSECONDS
+
+    def __post_init__(self) -> None:
+        if self.period_ns <= 0.0:
+            raise ValueError(f"period must be positive, got {self.period_ns!r}")
+        if not 0.0 <= self.down_ns <= self.period_ns:
+            raise ValueError("down time must be within one period")
+        if self.first_down_ns < 0.0:
+            raise ValueError("first flap time must be non-negative")
+
+    def down(self, now: float) -> bool:
+        if now < self.first_down_ns:
+            return False
+        return (now - self.first_down_ns) % self.period_ns < self.down_ns
+
+
+@dataclasses.dataclass
+class CompositeFault(LinkFault):
+    """Several fault processes acting on one link at once.
+
+    A frame is lost if *any* part drops it (every part is still
+    consulted, in order, so the draw sequence does not depend on which
+    part fired); extra latencies add; the link is down if any part says
+    so.
+    """
+
+    parts: tuple[LinkFault, ...] = ()
+
+    def reset(self) -> None:
+        for part in self.parts:
+            part.reset()
+
+    def drop(self, now: float, rng: np.random.Generator) -> bool:
+        lost = False
+        for part in self.parts:
+            if part.drop(now, rng):
+                lost = True
+        return lost
+
+    def extra_latency_ns(self, now: float) -> float:
+        return sum(part.extra_latency_ns(now) for part in self.parts)
+
+    def down(self, now: float) -> bool:
+        return any(part.down(now) for part in self.parts)

@@ -203,9 +203,19 @@ def _audit_table1(seed: int, runs: int) -> AuditReport:
     return audit_experiment(table1.run, seed=seed, runs=runs, name="table1")
 
 
+def _audit_faults(seed: int, runs: int) -> AuditReport:
+    """Fault-injected covert channels (smoke scale): the entire
+    fault-injection subsystem — Gilbert–Elliott loss, pause storms,
+    RNR pressure, ARQ retransmissions — must replay bit-identically."""
+    from repro.experiments import faults
+    return audit_experiment(faults.run, seed=seed, runs=runs,
+                            name="faults", smoke=True)
+
+
 AUDITS: dict[str, Callable[[int, int], AuditReport]] = {
     "inter-mr": _audit_inter_mr,
     "table1": _audit_table1,
+    "faults": _audit_faults,
 }
 
 

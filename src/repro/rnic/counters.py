@@ -36,8 +36,21 @@ class NICCounters:
         self.tx_per_tc = [DirectionCounters() for _ in range(num_traffic_classes)]
         self.rx_per_tc = [DirectionCounters() for _ in range(num_traffic_classes)]
         self.per_opcode: dict[Opcode, int] = defaultdict(int)
-        #: RC retransmissions (ethtool's rnr/transport retry counters)
+        #: RC retransmissions of any kind (timeout- or NAK-driven);
+        #: ethtool's aggregate transport retry counter.
         self.retransmits = 0
+        #: Retransmissions triggered by the ACK timeout specifically
+        #: (``local_ack_timeout_err``): lost request or lost response.
+        self.timeouts = 0
+        #: RNR NAKs received as a requester (``rnr_nak_retry_err``):
+        #: the peer's receive queue was empty.
+        self.rnr_naks = 0
+        #: WQEs force-completed with ``WR_FLUSH_ERR`` when a local QP
+        #: entered the ERROR state.
+        self.flushed_wqes = 0
+        #: PFC pause windows honoured by the wire-Tx port (a pause
+        #: storm shows up here long before throughput collapses).
+        self.pause_events = 0
 
     def _check_tc(self, tc: int) -> int:
         if not 0 <= tc < self.num_traffic_classes:
@@ -64,6 +77,10 @@ class NICCounters:
             "rx_bytes": self.rx.bytes,
             "rx_packets": self.rx.packets,
             "retransmits": self.retransmits,
+            "timeouts": self.timeouts,
+            "rnr_naks": self.rnr_naks,
+            "flushed_wqes": self.flushed_wqes,
+            "pause_events": self.pause_events,
         }
         for tc in range(self.num_traffic_classes):
             snap[f"tx_prio{tc}_bytes"] = self.tx_per_tc[tc].bytes

@@ -80,7 +80,16 @@ class RNIC(Engine):
     def _transit_ns(self, dst: "RNIC") -> float:
         if self.network is None or dst is self:
             return 0.0
-        return self.network.transit_ns(self, dst)
+        return (self.network.transit_ns(self, dst)
+                + self.network.path_extra_ns(self, dst, self.sim.now))
+
+    def _frame_lost(self, src: "RNIC", dst: "RNIC") -> bool:
+        """One frame's fate on the ``src -> dst`` path right now —
+        static link loss plus any installed dynamic fault process."""
+        if self.network is None or src is dst:
+            return False
+        rng = self.sim.random.stream(f"loss.{self.name}")
+        return self.network.frame_lost(src, dst, self.sim.now, rng)
 
     def _packets(self, payload: int) -> int:
         return max(1, (payload + MTU - 1) // MTU)
@@ -127,24 +136,26 @@ class RNIC(Engine):
         # reliability state: RC retries on frame loss; the responder's
         # duplicate detection makes re-executed operations idempotent
         # (crucial for atomics), modelled by caching the first
-        # execution's status
-        loss_rng = sim.random.stream(f"loss.{self.name}")
-        loss_out = (self.network.loss_probability(self, responder)
-                    if self.network is not None else 0.0)
-        loss_back = (self.network.loss_probability(responder, self)
-                     if self.network is not None else 0.0)
+        # execution's status.  The ACK-timeout budget (retry_count) and
+        # the RNR budget (rnr_retry) are separate, as in ibv_modify_qp.
         attempts = [0]
+        rnr_attempts = [0]
         executed_status: list[Optional[WCStatus]] = [None]
 
         def stage_retry() -> None:
+            if wr.flushed:
+                return
             attempts[0] += 1
             if attempts[0] > spec.retry_count:
                 qp.complete_send(wr, WCStatus.RETRY_EXC_ERR, sim.now)
                 return
             self.counters.retransmits += 1
+            self.counters.timeouts += 1
             stage_fetch()
 
         def stage_fetch() -> None:
+            if wr.flushed:
+                return
             # WQE fetch (64 B) plus gather of any request payload: the
             # DMA engine is occupied for the transfer, and the message
             # additionally waits out the fixed TLP round-trip latency.
@@ -181,13 +192,13 @@ class RNIC(Engine):
                 # completion fires at send time; a lost frame silently
                 # drops the remote effect
                 sim.schedule_at(finish, stage_complete, WCStatus.SUCCESS)
-                if loss_out > 0.0 and loss_rng.random() < loss_out:
+                if self._frame_lost(self, responder):
                     return
                 sim.schedule_at(
                     finish + self._transit_ns(responder), stage_responder_rx
                 )
                 return
-            if loss_out > 0.0 and loss_rng.random() < loss_out:
+            if self._frame_lost(self, responder):
                 # request frame lost: the RC retransmission timer fires
                 sim.schedule_at(finish + spec.retry_timeout_ns, stage_retry)
                 return
@@ -209,9 +220,35 @@ class RNIC(Engine):
                 finish = sim.now
             sim.schedule_at(finish, stage_data)
 
+        def stage_rnr_nak(nak_arrival: float) -> None:
+            """Responder answered Receiver-Not-Ready: back off
+            min_rnr_timer and resend, on the separate rnr_retry budget."""
+            rnr_attempts[0] += 1
+            self.counters.rnr_naks += 1
+            if rnr_attempts[0] > spec.rnr_retry:
+                sim.schedule_at(nak_arrival, stage_complete,
+                                WCStatus.RNR_RETRY_EXC_ERR)
+                return
+            self.counters.retransmits += 1
+            sim.schedule_at(nak_arrival + spec.min_rnr_timer_ns, stage_fetch)
+
         def stage_data() -> None:
+            if wr.flushed:
+                return
             if executed_status[0] is None:
-                executed_status[0] = execute_data_movement(qp, wr)
+                first_status = execute_data_movement(qp, wr)
+                if (first_status is WCStatus.RNR_RETRY_EXC_ERR
+                        and qp.qp_type.acks_requests):
+                    # the RNR NAK rides the responder's TxPU and the
+                    # return path like any response frame (NAK loss is
+                    # not modelled: a lost NAK would fall back to the
+                    # slower ACK-timeout retry, same outcome later)
+                    finish = responder.txpu.admit(
+                        sim.now, responder.spec.txpu_ns
+                    )
+                    stage_rnr_nak(finish + responder._transit_ns(self))
+                    return
+                executed_status[0] = first_status
             status = executed_status[0]
             if wr.opcode.is_atomic:
                 dma_bytes = 16  # 8 B read + 8 B write
@@ -251,7 +288,7 @@ class RNIC(Engine):
             npkt = responder._packets(response_payload)
             nbytes = response_payload + npkt * responder.spec.header_bytes
             responder.counters.record_tx(nbytes, tc=tc)
-            if loss_back > 0.0 and loss_rng.random() < loss_back:
+            if self._frame_lost(responder, self):
                 # ACK/response frame lost: requester times out and
                 # resends; the responder's replay cache answers without
                 # re-executing
@@ -262,14 +299,19 @@ class RNIC(Engine):
             )
 
         def stage_requester_rx(status: WCStatus) -> None:
+            # the frames on the wire were built by the *responder*, so
+            # the byte count uses the responder's header geometry (it
+            # must mirror stage_wire_back's record_tx exactly)
             npkt = responder._packets(response_payload)
-            nbytes = response_payload + npkt * self.spec.header_bytes
+            nbytes = response_payload + npkt * responder.spec.header_bytes
             self.counters.record_rx(nbytes, tc=tc)
             finish = self.rxpu.admit(sim.now, spec.rxpu_ns)
             cqe = self.pcie.admit(finish, spec.cqe_write_ns)
             sim.schedule_at(cqe, stage_complete, status)
 
         def stage_complete(status: WCStatus) -> None:
+            if wr.flushed:
+                return
             qp.complete_send(wr, status, sim.now)
 
         sim.schedule(spec.doorbell_ns if _ring_doorbell else 0.0, stage_fetch)

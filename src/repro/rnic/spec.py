@@ -116,6 +116,13 @@ class RNICSpec:
     #: only matter on links with injected loss.
     retry_timeout_ns: float = 16_000.0
     retry_count: int = 7
+    #: RNR (receiver-not-ready) handling: when a SEND meets an empty
+    #: receive queue the responder NAKs and the requester backs off
+    #: ``min_rnr_timer_ns`` before resending, on a budget of
+    #: ``rnr_retry`` attempts *separate* from ``retry_count``
+    #: (``ibv_modify_qp``'s min_rnr_timer / rnr_retry).
+    min_rnr_timer_ns: float = 12_000.0
+    rnr_retry: int = 7
 
     # --- DDIO (Data Direct I/O) ---------------------------------------
     # The paper's Grain-III/IV setup disables DDIO (TABLE IV) to

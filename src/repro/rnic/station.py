@@ -69,6 +69,14 @@ class ServiceStation:
         self.wait_ns += start - now
         return finish
 
+    def stall_until(self, time: float) -> None:
+        """Externally imposed stall: the server may not *start* new
+        service before ``time``.  This is how PFC pause frames act on a
+        port — transmission halts for the pause quanta, queued work
+        resumes afterwards.  A stall never shortens an existing busy
+        horizon."""
+        self._busy_until = max(self._busy_until, time)
+
     def reset(self) -> None:
         self._busy_until = 0.0
         self.served = 0

@@ -55,13 +55,16 @@ def execute_data_movement(qp: "QueuePair", wr: SendWR) -> WCStatus:
     opcode = wr.opcode
 
     if opcode is Opcode.SEND:
-        # An empty receive queue (QP or SRQ) is the RNR condition a real
-        # RNIC reports after exhausting retries; anything else (destroyed
-        # resources, state errors) is a caller bug and must propagate.
+        # An empty receive queue (QP or SRQ) is the RNR condition: the
+        # responder NAKs with "receiver not ready" and the requester
+        # retries on its rnr_retry budget (the RNIC engine drives that
+        # loop; this synchronous layer reports the exhausted outcome).
+        # Anything else (destroyed resources, state errors) is a caller
+        # bug and must propagate.
         try:
             recv_wr = remote_qp.take_recv()
         except QueueFullError:
-            return WCStatus.RETRY_EXC_ERR
+            return WCStatus.RNR_RETRY_EXC_ERR
         # UD receives carry a 40 B Global Routing Header before the
         # payload; the posted buffer must cover both
         grh = GRH_BYTES if remote_qp.qp_type is QPType.UD else 0

@@ -109,7 +109,37 @@ REQUIRED_REMOTE_ACCESS: dict[Opcode, AccessFlags] = {
 
 
 class WCStatus(enum.Enum):
-    """Work-completion status codes (``IBV_WC_*``)."""
+    """Work-completion status codes (``IBV_WC_*``).
+
+    ``SUCCESS``
+        The WQE's data movement executed and (for reliable transports)
+        was acknowledged.
+    ``LOC_LEN_ERR``
+        A posted receive buffer was too small for the inbound message.
+    ``LOC_PROT_ERR``
+        A local buffer failed the PD/MR protection check.
+    ``REM_ACCESS_ERR``
+        The remote MR rejected the access (bounds or permission).
+    ``REM_INV_REQ_ERR``
+        The responder could not interpret the request (bad opcode for
+        the QP type, malformed atomic, ...).
+    ``WR_FLUSH_ERR``
+        The WQE never executed: its QP entered the ERROR state while the
+        request was still queued, and the provider *flushed* it — every
+        outstanding send and receive completes with this status so the
+        application can reclaim buffers.  Flush completions carry no
+        data and say nothing about the fabric.
+    ``RETRY_EXC_ERR``
+        The requester's transport retry budget (``retry_cnt``) ran out:
+        the packet (or its ACK) was lost ``retry_cnt + 1`` times in a
+        row.  Indicates a fabric/peer failure, not an application error.
+    ``RNR_RETRY_EXC_ERR``
+        The responder kept answering *Receiver Not Ready* NAKs — its
+        receive queue had no posted buffer — until the separate
+        ``rnr_retry`` budget ran out.  Distinct from ``RETRY_EXC_ERR``:
+        the fabric is healthy; the *application* on the remote side is
+        not keeping its RQ stocked.
+    """
 
     SUCCESS = "SUCCESS"
     LOC_LEN_ERR = "LOC_LEN_ERR"
@@ -118,3 +148,4 @@ class WCStatus(enum.Enum):
     REM_INV_REQ_ERR = "REM_INV_REQ_ERR"
     WR_FLUSH_ERR = "WR_FLUSH_ERR"
     RETRY_EXC_ERR = "RETRY_EXC_ERR"
+    RNR_RETRY_EXC_ERR = "RNR_RETRY_EXC_ERR"

@@ -66,6 +66,7 @@ class QueuePair:
         self.state = QPState.RESET
         self.remote_qp: Optional["QueuePair"] = None
         self._outstanding_send = 0
+        self._inflight_sends: list[SendWR] = []
         self._recv_queue: list[RecvWR] = []
         self._destroyed = False
         #: Grain-III defense counters: what per-QP telemetry exposes.
@@ -80,11 +81,21 @@ class QueuePair:
     # State machine
     # ------------------------------------------------------------------
     def modify(self, new_state: QPState) -> None:
-        """``ibv_modify_qp``: validated state transition."""
+        """``ibv_modify_qp``: validated state transition.
+
+        Moving to ERR flushes every outstanding WQE with
+        ``WR_FLUSH_ERR`` (the verbs error-state contract); moving to
+        RESET silently discards them (buffers are forfeited).
+        """
         if new_state not in QP_TRANSITIONS[self.state]:
             raise QPStateError(f"illegal transition {self.state} -> {new_state}")
         self.state = new_state
-        if new_state is QPState.RESET:
+        if new_state is QPState.ERR:
+            self.flush()
+        elif new_state is QPState.RESET:
+            for wr in self._inflight_sends:
+                wr.flushed = True
+            self._inflight_sends.clear()
             self._outstanding_send = 0
             self._recv_queue.clear()
 
@@ -173,6 +184,7 @@ class QueuePair:
             )
         wr.queue_ahead = self._outstanding_send
         self._outstanding_send += 1
+        self._inflight_sends.append(wr)
         self._account(wr)
         self.context.engine.post_send(self, wr)
 
@@ -205,6 +217,7 @@ class QueuePair:
             for wr in wrs:
                 wr.queue_ahead = self._outstanding_send
                 self._outstanding_send += 1
+                self._inflight_sends.append(wr)
                 self._account(wr)
             engine_batch(self, wrs)
             return
@@ -238,14 +251,22 @@ class QueuePair:
     # Completion (engine-side)
     # ------------------------------------------------------------------
     def complete_send(self, wr: SendWR, status: WCStatus, now: float) -> None:
-        """Engine-side: retire a send WQE and (if signaled) emit a CQE."""
+        """Engine-side: retire a send WQE and (if signaled) emit a CQE.
+
+        A failing completion moves the QP to ERR and *flushes* the other
+        outstanding WQEs with ``WR_FLUSH_ERR`` — the error CQE for the
+        failing WQE is delivered first, then the flush completions, the
+        order applications expect from a real provider.
+        """
+        if wr.flushed:
+            return  # already force-completed by an error-state flush
         if self._outstanding_send <= 0:  # pragma: no cover - defensive
             raise QPStateError(f"QP {self.qp_num} has no outstanding sends")
         self._outstanding_send -= 1
         self.total_completed += 1
         wr.complete_time = now
-        if status is not WCStatus.SUCCESS:
-            self.state = QPState.ERR
+        if wr in self._inflight_sends:
+            self._inflight_sends.remove(wr)
         if wr.signaled:
             self.send_cq.push(
                 WorkCompletion(
@@ -259,6 +280,61 @@ class QueuePair:
                     queue_ahead=wr.queue_ahead,
                 )
             )
+        if status is not WCStatus.SUCCESS and self.state is not QPState.ERR:
+            self.state = QPState.ERR
+            self.flush(now)
+
+    def flush(self, now: Optional[float] = None) -> int:
+        """Complete every outstanding WQE with ``WR_FLUSH_ERR``.
+
+        Called when the QP enters the ERROR state; safe to call again
+        (flushing an empty QP is a no-op).  Returns the number of WQEs
+        flushed; the engine's ``flushed_wqes`` counter (when the engine
+        exposes :class:`~repro.rnic.counters.NICCounters`) records the
+        same total so telemetry sees the failure.
+        """
+        if now is None:
+            now = self.context.engine.now
+        flushed = 0
+        while self._inflight_sends:
+            wr = self._inflight_sends.pop(0)
+            wr.flushed = True
+            wr.complete_time = now
+            self._outstanding_send -= 1
+            self.total_completed += 1
+            flushed += 1
+            if wr.signaled:
+                self.send_cq.push(
+                    WorkCompletion(
+                        wr_id=wr.wr_id,
+                        status=WCStatus.WR_FLUSH_ERR,
+                        opcode=wr.opcode,
+                        byte_len=wr.length,
+                        qp_num=self.qp_num,
+                        post_time=wr.post_time,
+                        complete_time=now,
+                        queue_ahead=wr.queue_ahead,
+                    )
+                )
+        for recv in self._recv_queue:
+            flushed += 1
+            self.recv_cq.push(
+                WorkCompletion(
+                    wr_id=recv.wr_id,
+                    status=WCStatus.WR_FLUSH_ERR,
+                    opcode=Opcode.RECV,
+                    byte_len=0,
+                    qp_num=self.qp_num,
+                    post_time=now,
+                    complete_time=now,
+                )
+            )
+        self._recv_queue.clear()
+        if flushed:
+            counters = getattr(self.context.engine, "counters", None)
+            if counters is not None:
+                counters.flushed_wqes += flushed
+        return flushed
 
     def deliver_recv(self, wr: RecvWR, byte_len: int, status: WCStatus, now: float) -> None:
         """Engine-side: complete an inbound SEND into a posted recv buffer."""

@@ -67,6 +67,10 @@ class SendWR:
     #: Send-queue occupancy (entries ahead of this WQE) at post time;
     #: the denominator of the paper's ULI metric.
     queue_ahead: int = dataclasses.field(default=0, init=False)
+    #: Set when the QP force-completed this WQE with ``WR_FLUSH_ERR``
+    #: (error-state flush).  In-flight pipeline stages check it so a
+    #: flushed WQE is never executed or completed a second time.
+    flushed: bool = dataclasses.field(default=False, init=False)
 
     def __post_init__(self) -> None:
         if self.length < 0:

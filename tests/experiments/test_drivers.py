@@ -75,6 +75,20 @@ class TestDriversSmoke:
             "high", "undetectable"
         )
 
+    def test_faults_reduced(self):
+        from repro.experiments import faults
+
+        result = faults.run(smoke=True,
+                            scenarios=("clean", "bursty-loss"))
+        channels = {row["channel"] for row in result.rows}
+        assert channels == {"inter-traffic-class", "inter-mr",
+                            "intra-mr", "inter-mr+arq"}
+        assert len(result.rows) == 8  # 2 scenarios x 4 channel rows
+        # the fluid-layer priority channel shrugs off packet faults
+        for row in result.rows:
+            if row["channel"] == "inter-traffic-class":
+                assert row["error_rate"] == 0
+
     def test_every_driver_result_is_saveable(self, tmp_path):
         result = table1.run()
         path = result.save(str(tmp_path))

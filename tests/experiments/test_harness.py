@@ -58,6 +58,7 @@ class TestCLI:
             "table1", "table5", "fig4", "fig5", "fig6", "fig7", "fig8",
             "fig9", "fig10", "fig11", "fig12", "fig13", "pythia", "stealth",
             "linearity", "mitigation-noise", "mitigation-partition",
+            "faults",
         }
         assert set(REGISTRY) == expected
 

@@ -1,0 +1,175 @@
+"""Error-path transport semantics: RNR NAKs, flushes, counters.
+
+The robustness subsystem leans on three verbs-contract behaviours:
+SENDs against an empty RQ ride the RNR NAK / min_rnr_timer path on
+their own ``rnr_retry`` budget; a failing WQE moves the QP to ERROR
+and flushes the rest with ``WR_FLUSH_ERR``; and NICCounters records
+each recovery mechanism separately so telemetry can tell a pause storm
+from a loss burst from RQ starvation.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.fabric import Link
+from repro.host import Cluster
+from repro.rnic import cx5
+from repro.verbs import Opcode, QPState, RecvWR, SendWR, WCStatus
+from repro.verbs.qp import QPCapabilities
+
+
+def send_pair(spec=None, max_send_wr=8, seed=0):
+    cluster = Cluster(seed=seed)
+    spec = spec if spec else cx5()
+    server = cluster.add_host("server", spec=spec)
+    client = cluster.add_host("client", spec=spec)
+    client_cq = client.context.create_cq()
+    server_cq = server.context.create_cq()
+    qp_c = client.context.create_qp(
+        client.pd, client_cq, cap=QPCapabilities(max_send_wr=max_send_wr))
+    qp_s = server.context.create_qp(
+        server.pd, server_cq, cap=QPCapabilities(max_send_wr=max_send_wr))
+    qp_c.connect(qp_s)
+    send_mr = client.reg_mr(4096)
+    recv_mr = server.reg_mr(4096)
+    return cluster, client, server, qp_c, qp_s, client_cq, send_mr, recv_mr
+
+
+class TestRNRSemantics:
+    def test_late_recv_recovers_via_rnr_backoff(self):
+        """A SEND that first meets an empty RQ succeeds once a recv is
+        posted within the RNR budget, and counters show the NAKs."""
+        (cluster, client, server, qp_c, qp_s,
+         cq, send_mr, recv_mr) = send_pair()
+        qp_c.post_send(SendWR(opcode=Opcode.SEND,
+                              local_addr=send_mr.addr, length=64))
+        # two backoff periods later, provide the buffer
+        spec = client.rnic.spec
+        cluster.sim.schedule(
+            2.5 * spec.min_rnr_timer_ns,
+            lambda: qp_s.post_recv(RecvWR(local_addr=recv_mr.addr,
+                                          length=64)))
+        cluster.run_for(20 * spec.min_rnr_timer_ns)
+        wcs = cq.poll()
+        assert len(wcs) == 1 and wcs[0].status is WCStatus.SUCCESS
+        assert client.rnic.counters.rnr_naks >= 2
+        assert client.rnic.counters.retransmits >= 2
+        # the RNR path is NAK-driven, not timeout-driven
+        assert client.rnic.counters.timeouts == 0
+
+    def test_rnr_budget_separate_from_timeout_budget(self):
+        """rnr_retry=1 exhausts after two attempts even though the ACK
+        retry_count budget is untouched."""
+        spec = dataclasses.replace(cx5(), rnr_retry=1, retry_count=7)
+        (cluster, client, server, qp_c, qp_s,
+         cq, send_mr, recv_mr) = send_pair(spec=spec)
+        qp_c.post_send(SendWR(opcode=Opcode.SEND,
+                              local_addr=send_mr.addr, length=64))
+        cluster.run_for(50 * spec.min_rnr_timer_ns)
+        wcs = cq.poll()
+        assert len(wcs) == 1
+        assert wcs[0].status is WCStatus.RNR_RETRY_EXC_ERR
+        assert client.rnic.counters.rnr_naks == 2  # initial + 1 retry
+
+    def test_rnr_backoff_honours_min_rnr_timer(self):
+        """Completion cannot arrive before the budgeted backoffs have
+        elapsed."""
+        spec = dataclasses.replace(cx5(), rnr_retry=3)
+        (cluster, client, server, qp_c, qp_s,
+         cq, send_mr, recv_mr) = send_pair(spec=spec)
+        qp_c.post_send(SendWR(opcode=Opcode.SEND,
+                              local_addr=send_mr.addr, length=64))
+        cluster.run_for(2 * spec.min_rnr_timer_ns)
+        assert cq.poll() == []  # still backing off
+        cluster.run_for(50 * spec.min_rnr_timer_ns)
+        wcs = cq.poll()
+        assert wcs and wcs[0].status is WCStatus.RNR_RETRY_EXC_ERR
+
+
+class TestFlushSemantics:
+    def lossy_reads(self, loss, retry_count, posts, seed=0):
+        cluster = Cluster(seed=seed)
+        spec = dataclasses.replace(cx5(), retry_count=retry_count)
+        server = cluster.add_host("server", spec=spec)
+        client = cluster.add_host("client", spec=spec,
+                                  link=Link(loss_probability=loss))
+        conn = cluster.connect(client, server, max_send_wr=posts)
+        mr = server.reg_mr(4096)
+        for i in range(posts):
+            conn.post_read(mr, 0, 64)
+        return cluster, client, conn
+
+    def test_error_flushes_rest_of_queue(self):
+        cluster, client, conn = self.lossy_reads(
+            loss=0.98, retry_count=1, posts=6, seed=2)
+        wcs = conn.await_completions(6)
+        statuses = [wc.status for wc in wcs]
+        assert WCStatus.RETRY_EXC_ERR in statuses
+        first_error = statuses.index(WCStatus.RETRY_EXC_ERR)
+        # every WQE behind the failing one flushes, error CQE first
+        assert all(s is WCStatus.WR_FLUSH_ERR
+                   for s in statuses[first_error + 1:])
+        assert statuses[first_error + 1:], "nothing was flushed"
+        assert conn.qp.state is QPState.ERR
+        assert client.rnic.counters.flushed_wqes == len(statuses) - (
+            first_error + 1)
+
+    def test_modify_to_error_flushes_outstanding(self):
+        (cluster, client, server, qp_c, qp_s,
+         cq, send_mr, recv_mr) = send_pair()
+        for _ in range(3):
+            qp_c.post_send(SendWR(opcode=Opcode.SEND,
+                                  local_addr=send_mr.addr, length=64))
+        qp_c.modify(QPState.ERR)
+        wcs = cq.drain()
+        assert len(wcs) == 3
+        assert all(wc.status is WCStatus.WR_FLUSH_ERR for wc in wcs)
+        assert qp_c.outstanding_send == 0
+
+    def test_flush_is_idempotent(self):
+        (cluster, client, server, qp_c, qp_s,
+         cq, send_mr, recv_mr) = send_pair()
+        qp_c.post_send(SendWR(opcode=Opcode.SEND,
+                              local_addr=send_mr.addr, length=64))
+        qp_c.modify(QPState.ERR)
+        assert qp_c.flush() == 0  # already empty
+        assert len(cq.poll()) == 1
+
+    def test_timeouts_counted_separately_from_rnr(self):
+        cluster, client, conn = self.lossy_reads(
+            loss=0.4, retry_count=7, posts=4, seed=3)
+        conn.await_completions(4)
+        assert client.rnic.counters.timeouts > 0
+        assert client.rnic.counters.rnr_naks == 0
+        assert client.rnic.counters.retransmits >= \
+            client.rnic.counters.timeouts
+
+
+class TestByteAccountingSymmetry:
+    """Regression: response bytes were accounted with the *requester's*
+    header geometry; with asymmetric specs the books didn't balance."""
+
+    def run_reads(self, client_spec, server_spec, reads=20):
+        cluster = Cluster(seed=1)
+        server = cluster.add_host("server", spec=server_spec)
+        client = cluster.add_host("client", spec=client_spec)
+        conn = cluster.connect(client, server, max_send_wr=4)
+        mr = server.reg_mr(4096)
+        for i in range(reads):
+            assert conn.read_blocking(mr, 64 * (i % 8), 256).ok
+        return client.rnic.counters, server.rnic.counters
+
+    def test_asymmetric_headers_balance(self):
+        small = cx5()
+        big = dataclasses.replace(cx5(), header_bytes=small.header_bytes + 38)
+        client_counters, server_counters = self.run_reads(small, big)
+        # responses: built by the server, received by the client
+        assert client_counters.rx.bytes == server_counters.tx.bytes
+        # requests: built by the client, received by the server
+        assert client_counters.tx.bytes == server_counters.rx.bytes
+
+    def test_symmetric_specs_balance_too(self):
+        client_counters, server_counters = self.run_reads(cx5(), cx5())
+        assert client_counters.rx.bytes == server_counters.tx.bytes
+        assert client_counters.tx.bytes == server_counters.rx.bytes

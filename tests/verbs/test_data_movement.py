@@ -136,7 +136,7 @@ def test_send_without_posted_recv_fails(pair):
         pair,
         SendWR(opcode=Opcode.SEND, local_addr=pair.client_mr.addr, length=8),
     )
-    assert wc.status is WCStatus.RETRY_EXC_ERR
+    assert wc.status is WCStatus.RNR_RETRY_EXC_ERR
 
 
 def test_remote_access_error_out_of_bounds(pair):

@@ -98,6 +98,8 @@ class TestSRQIntegration:
         cluster, server, srq, server_cq, buf, conns = build_server_with_srq()
         client, qp, cq, mr = conns[0]
         qp.post_send(SendWR(opcode=Opcode.SEND, local_addr=mr.addr, length=4))
-        cluster.run_for(200_000)
+        # rnr_retry backoffs of min_rnr_timer each must elapse before
+        # the budget-exhausted completion arrives
+        cluster.run_for(500_000)
         wcs = cq.poll(2)
-        assert wcs and wcs[0].status is WCStatus.RETRY_EXC_ERR
+        assert wcs and wcs[0].status is WCStatus.RNR_RETRY_EXC_ERR

@@ -12,7 +12,9 @@
 #                      and excluded
 #   3. replay audit  — BLOCKING: one Grain-III experiment, two identical
 #                      seeds, bit-identical or bust
-#   4. pytest tier-1 — BLOCKING: the full unit/integration suite
+#   4. faults smoke  — BLOCKING: the fault-injection experiment end to
+#                      end at CI scale (docs/FAULTS.md)
+#   5. pytest tier-1 — BLOCKING: the full unit/integration suite
 set -u
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -41,6 +43,9 @@ python -m repro.lint src/repro tests --exclude tests/lint/fixtures || fail=1
 
 echo "== determinism replay audit (blocking) =="
 python -m repro.lint --audit inter-mr || fail=1
+
+echo "== faults experiment smoke (blocking) =="
+python -m repro.experiments faults --smoke --out "$(mktemp -d)" || fail=1
 
 if [ "$fast" -eq 0 ]; then
     echo "== pytest tier-1 (blocking) =="
