@@ -28,6 +28,7 @@ from repro.covert.result import ChannelResult
 from repro.host.cluster import Cluster, RDMAConnection
 from repro.rnic.caches import SetAssocCache
 from repro.rnic.spec import RNICSpec, cx5
+from repro.rnic.translation import mr_cache_id
 from repro.sim.units import MEBIBYTE
 from repro.verbs.mr import MemoryRegion
 
@@ -60,10 +61,10 @@ def find_eviction_set(cache: SetAssocCache, target_rkey: int,
     simulated cache we can compute the set index directly — the result
     is the same eviction set the timing search would find.
     """
-    target_set = hash(("mpt", target_rkey)) % cache.sets
+    target_set = cache.set_index(mr_cache_id(target_rkey))
     colliding = [
         rkey for rkey in candidate_rkeys
-        if hash(("mpt", rkey)) % cache.sets == target_set
+        if cache.set_index(mr_cache_id(rkey)) == target_set
     ]
     return colliding[: cache.ways]
 

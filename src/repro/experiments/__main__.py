@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments --list
     python -m repro.experiments table5 fig13
     python -m repro.experiments --all --out results/ --retries 1
+    python -m repro.experiments --all --jobs 4
 
 Each experiment prints its paper-style table and writes it under the
 output directory.  Runtimes range from sub-second (table1) to a couple
@@ -16,76 +17,48 @@ experiments still run, and the process exits nonzero with a failure
 summary.  ``--retries N`` re-attempts a crashed experiment before
 giving up — useful on shared CI machines where a first run may trip
 over transient resource limits.
+
+``--jobs N`` fans the batch out over a process pool.  Each experiment
+runs in a pristine worker (one task per child, spawn start method), so
+no interpreter state leaks between experiments; the results and tables
+are byte-identical to a serial run, and stdout stays in submission
+order.  Crash isolation and ``--retries`` compose with the pool — the
+retry loop runs inside the worker.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
+import concurrent.futures
+import multiprocessing
 import pathlib
 import sys
-import traceback
-from typing import Callable
 
-from repro.experiments import faults, fig4, fig5, fig12, fig13, mitigation
-from repro.experiments import pythia_cmp, stealth, table1, table5, uli_linearity
-from repro.experiments.fig6_7_8 import run_fig6, run_fig7, run_fig8
-from repro.experiments.fig9_10_11 import run_fig9, run_fig10, run_fig11
-from repro.experiments.timing import wallclock
-
-#: Paper-scale parameter overrides used by ``--full``.  The defaults
-#: trade some statistical weight for runtime; ``--full`` restores the
-#: paper's magnitudes (e.g. Figure 13's 6720-trace dataset).
-FULL_SCALE: dict[str, dict] = {
-    "table5": dict(payload_bits=1024),
-    "fig5": dict(samples=400),
-    "fig6": dict(samples=150),
-    "fig7": dict(samples=150),
-    "fig8": dict(samples=150),
-    "fig13": dict(per_class=395, epochs=16),   # 17 * 395 = 6715 traces
-    "pythia": dict(payload_bits=512),
-    "linearity": dict(samples_per_depth=400),
-}
-
-REGISTRY: dict[str, Callable] = {
-    "table1": table1.run,
-    "table5": table5.run,
-    "fig4": fig4.run,
-    "fig5": fig5.run,
-    "fig6": run_fig6,
-    "fig7": run_fig7,
-    "fig8": run_fig8,
-    "fig9": run_fig9,
-    "fig10": run_fig10,
-    "fig11": run_fig11,
-    "fig12": fig12.run,
-    "fig13": fig13.run,
-    "pythia": pythia_cmp.run,
-    "stealth": stealth.run,
-    "linearity": uli_linearity.run,
-    "mitigation-noise": mitigation.run_noise,
-    "mitigation-partition": mitigation.run_partition,
-    "faults": faults.run,
-}
+from repro.experiments.runner import (  # noqa: F401  (REGISTRY/FULL_SCALE re-exported for compatibility)
+    FULL_SCALE,
+    REGISTRY,
+    TaskOutcome,
+    _invoke,
+    run_task,
+)
 
 
-def _invoke(runner: Callable, seed: int, smoke: bool, kwargs: dict):
-    """Call a runner with only the keyword arguments it accepts.
-
-    Runners are plain functions with heterogeneous signatures (a few
-    take no ``seed``; only some support ``smoke``), so the dispatch
-    inspects the signature instead of guessing via TypeError.
-    """
-    params = inspect.signature(runner).parameters
-    accepts_var_kw = any(
-        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
-    )
-    call_kwargs = dict(kwargs)
-    if accepts_var_kw or "seed" in params:
-        call_kwargs["seed"] = seed
-    if smoke and (accepts_var_kw or "smoke" in params):
-        call_kwargs["smoke"] = True
-    return runner(**call_kwargs)
+def _report(outcome: TaskOutcome, out: str, retries: int,
+            failures: dict[str, str]) -> None:
+    """Print one finished experiment the way the serial loop always
+    has, writing ``<name>.error.txt`` on failure."""
+    if not outcome.ok:
+        failures[outcome.name] = outcome.error
+        out_dir = pathlib.Path(out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        error_path = out_dir / f"{outcome.name}.error.txt"
+        error_path.write_text(outcome.error)
+        print(outcome.error, file=sys.stderr)
+        print(f"[{outcome.name}: FAILED after {retries + 1} attempt(s) "
+              f"-> {error_path}]\n", file=sys.stderr)
+        return
+    print(outcome.table)
+    print(f"[{outcome.name}: {outcome.elapsed:.1f}s -> {outcome.path}]\n")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -111,9 +84,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--retries", type=int, default=0,
                         help="re-attempts per crashed experiment before "
                              "it is recorded as failed (default: 0)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes; results are "
+                             "byte-identical to a serial run (default: 1)")
     args = parser.parse_args(argv)
     if args.retries < 0:
         parser.error("--retries must be non-negative")
+    if args.jobs < 1:
+        parser.error("--jobs must be positive")
 
     if args.list:
         for name in REGISTRY:
@@ -127,34 +105,29 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiments: {unknown} (see --list)")
 
     failures: dict[str, str] = {}
-    for name in names:
-        started = wallclock()
-        runner = REGISTRY[name]
-        kwargs = dict(FULL_SCALE.get(name, {})) if args.full else {}
-        result = None
-        error_text = ""
-        for attempt in range(args.retries + 1):
-            try:
-                result = _invoke(runner, args.seed, args.smoke, kwargs)
-                break
-            except Exception:  # ragnar-lint: disable=RAG004 — runner isolation: one crashing experiment must not abort the batch; the traceback is captured, written to the output dir and reported in the exit summary
-                error_text = traceback.format_exc()
-                if attempt < args.retries:
-                    print(f"[{name}: attempt {attempt + 1} crashed; "
-                          f"retrying]", file=sys.stderr)
-        if result is None:
-            failures[name] = error_text
-            out_dir = pathlib.Path(args.out)
-            out_dir.mkdir(parents=True, exist_ok=True)
-            error_path = out_dir / f"{name}.error.txt"
-            error_path.write_text(error_text)
-            print(error_text, file=sys.stderr)
-            print(f"[{name}: FAILED after {args.retries + 1} attempt(s) "
-                  f"-> {error_path}]\n", file=sys.stderr)
-            continue
-        print(result.format_table())
-        path = result.save(args.out)
-        print(f"[{name}: {wallclock() - started:.1f}s -> {path}]\n")
+    if args.jobs == 1 or len(names) == 1:
+        for name in names:
+            outcome = run_task(name, args.seed, args.smoke, args.full,
+                               args.retries, args.out, registry=REGISTRY)
+            _report(outcome, args.out, args.retries, failures)
+    else:
+        # one pristine interpreter per experiment: no counter or cache
+        # state leaks between tasks, so every result matches what a
+        # serial (or solo) run of that experiment produces
+        context = multiprocessing.get_context("spawn")
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(args.jobs, len(names)),
+            mp_context=context,
+            max_tasks_per_child=1,
+        ) as pool:
+            futures = [
+                pool.submit(run_task, name, args.seed, args.smoke,
+                            args.full, args.retries, args.out)
+                for name in names
+            ]
+            # collect in submission order — stdout matches serial runs
+            for future in futures:
+                _report(future.result(), args.out, args.retries, failures)
     if failures:
         completed = len(names) - len(failures)
         print(f"{len(failures)} of {len(names)} experiments failed "

@@ -20,7 +20,7 @@ from repro.side.snoop import (
 
 
 def run(spec: RNICSpec | None = None, per_class: int = 60,
-        epochs: int = 12, seed: int = 0) -> ExperimentResult:
+        epochs: int = 12, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     """Regenerate Figure 13: demo traces + the 17-way classifier."""
     spec = spec if spec is not None else cx5()
 
@@ -38,7 +38,8 @@ def run(spec: RNICSpec | None = None, per_class: int = 60,
         }
 
     # (b) classifier on the synthesized dataset
-    dataset = SnoopDataset.generate(per_class=per_class, spec=spec, seed=seed)
+    dataset = SnoopDataset.generate(per_class=per_class, spec=spec, seed=seed,
+                                    jobs=jobs)
     report = evaluate_classifier(dataset, epochs=epochs, seed=seed)
     centroid_accuracy = nearest_centroid(dataset, seed=seed)
 

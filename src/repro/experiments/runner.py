@@ -1,0 +1,144 @@
+"""Experiment registry and the single-experiment task runner.
+
+This module holds everything the command-line driver and the
+``--jobs N`` process pool share.  The pool pickles :func:`run_task` by
+qualified name, so it must live in an importable module (not in
+``__main__``, which spawn re-imports under a different name).
+
+Determinism contract: one experiment run in a fresh worker process must
+produce byte-identical output to the same experiment run serially in a
+long-lived process.  Everything that could break that is pinned
+elsewhere in the repo — named :class:`~repro.sim.random.RandomStreams`
+derive sequences from ``(seed, name)`` via SHA-256, and cache set
+indices avoid Python's per-process randomized string ``hash()`` (see
+:func:`repro.rnic.translation.mr_cache_id`).  The serial-vs-parallel
+equivalence test in ``tests/experiments/test_parallel.py`` enforces the
+contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import sys
+import traceback
+from typing import Callable, Optional
+
+from repro.experiments import faults, fig4, fig5, fig12, fig13, mitigation
+from repro.experiments import pythia_cmp, stealth, table1, table5, uli_linearity
+from repro.experiments.fig6_7_8 import run_fig6, run_fig7, run_fig8
+from repro.experiments.fig9_10_11 import run_fig9, run_fig10, run_fig11
+from repro.experiments.timing import wallclock
+
+#: Paper-scale parameter overrides used by ``--full``.  The defaults
+#: trade some statistical weight for runtime; ``--full`` restores the
+#: paper's magnitudes (e.g. Figure 13's 6720-trace dataset).
+FULL_SCALE: dict[str, dict] = {
+    "table5": dict(payload_bits=1024),
+    "fig5": dict(samples=400),
+    "fig6": dict(samples=150),
+    "fig7": dict(samples=150),
+    "fig8": dict(samples=150),
+    "fig13": dict(per_class=395, epochs=16),   # 17 * 395 = 6715 traces
+    "pythia": dict(payload_bits=512),
+    "linearity": dict(samples_per_depth=400),
+}
+
+REGISTRY: dict[str, Callable] = {
+    "table1": table1.run,
+    "table5": table5.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "pythia": pythia_cmp.run,
+    "stealth": stealth.run,
+    "linearity": uli_linearity.run,
+    "mitigation-noise": mitigation.run_noise,
+    "mitigation-partition": mitigation.run_partition,
+    "faults": faults.run,
+}
+
+
+def _invoke(runner: Callable, seed: int, smoke: bool, kwargs: dict):
+    """Call a runner with only the keyword arguments it accepts.
+
+    Runners are plain functions with heterogeneous signatures (a few
+    take no ``seed``; only some support ``smoke``), so the dispatch
+    inspects the signature instead of guessing via TypeError.
+    """
+    params = inspect.signature(runner).parameters
+    accepts_var_kw = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+    call_kwargs = dict(kwargs)
+    if accepts_var_kw or "seed" in params:
+        call_kwargs["seed"] = seed
+    if smoke and (accepts_var_kw or "smoke" in params):
+        call_kwargs["smoke"] = True
+    return runner(**call_kwargs)
+
+
+@dataclasses.dataclass
+class TaskOutcome:
+    """What one experiment run produced, serial or in a pool worker."""
+
+    name: str
+    table: Optional[str] = None      # rendered table (None on failure)
+    path: Optional[str] = None       # where the table was saved
+    error: str = ""                  # captured traceback on failure
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.table is not None
+
+
+def run_task(
+    name: str,
+    seed: int,
+    smoke: bool,
+    full: bool,
+    retries: int,
+    out: str,
+    registry: Optional[dict[str, Callable]] = None,
+) -> TaskOutcome:
+    """Run one registered experiment end to end: invoke (with retries),
+    render, save.  Printing is left to the caller so that parallel runs
+    emit output in deterministic submission order.
+
+    ``registry`` defaults to the module-level :data:`REGISTRY`; the CLI
+    passes its own (patchable) view through for the serial path, while
+    pool workers fall back to the default — a custom registry of local
+    functions would not survive pickling anyway.
+    """
+    runner = (REGISTRY if registry is None else registry)[name]
+    kwargs = dict(FULL_SCALE.get(name, {})) if full else {}
+    started = wallclock()
+    result = None
+    error_text = ""
+    for attempt in range(retries + 1):
+        try:
+            result = _invoke(runner, seed, smoke, kwargs)
+            break
+        except Exception:  # ragnar-lint: disable=RAG004 — runner isolation: one crashing experiment must not abort the batch; the traceback is captured, written to the output dir and reported in the exit summary
+            error_text = traceback.format_exc()
+            if attempt < retries:
+                print(f"[{name}: attempt {attempt + 1} crashed; retrying]",
+                      file=sys.stderr)
+    if result is None:
+        return TaskOutcome(
+            name=name, error=error_text, elapsed=wallclock() - started
+        )
+    table = result.format_table()
+    path = result.save(out)
+    return TaskOutcome(
+        name=name, table=table, path=str(path),
+        elapsed=wallclock() - started,
+    )

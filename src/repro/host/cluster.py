@@ -133,15 +133,19 @@ class RDMAConnection:
         """Run the simulation until ``count`` CQEs arrive on this CQ."""
         sim = self.cluster.sim
         deadline = sim.now + timeout_ns
-        out: list[WorkCompletion] = []
-        out.extend(self.cq.poll(count))
+        step = sim.step
+        cq = self.cq
+        out: list[WorkCompletion] = cq.poll(count)
         while len(out) < count:
-            if sim.now >= deadline or not sim.step():
+            if sim.now >= deadline or not step():
                 raise TimeoutError(
                     f"waited for {count} completions, got {len(out)} "
                     f"by t={sim.now:.0f}ns"
                 )
-            out.extend(self.cq.poll(count - len(out)))
+            # poll only when the step actually delivered something —
+            # most events are pipeline stages, not completions
+            if len(cq):
+                out.extend(cq.poll(count - len(out)))
         return out
 
     def read_blocking(

@@ -7,6 +7,8 @@ tree) observe genuine one-sided semantics.
 
 from __future__ import annotations
 
+import mmap
+
 from repro.sim.units import MEBIBYTE
 
 
@@ -24,7 +26,12 @@ class HostMemory:
             raise ValueError(f"memory size must be positive, got {size}")
         self.base = base
         self.size = size
-        self._data = bytearray(size)
+        # an anonymous mapping instead of ``bytearray(size)``: hosts
+        # carry tens of MiB each, and eagerly zero-filling that was the
+        # single largest setup cost of building a cluster.  The kernel
+        # hands out zero pages on demand; reads/writes keep the same
+        # slice semantics.
+        self._data = mmap.mmap(-1, size)
         self._next = base
 
     @property

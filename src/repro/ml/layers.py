@@ -42,30 +42,46 @@ class Layer:
         return [(self, name) for name in self.params]
 
 
-def _im2col(x: np.ndarray, kernel: int, stride: int, pad: int) -> np.ndarray:
-    """(N, C, L) -> (N, C*K, L_out) patch matrix."""
+def _im2col(x: np.ndarray, kernel: int, stride: int, pad: int,
+            out: Optional[np.ndarray] = None) -> np.ndarray:
+    """(N, C, L) -> (N, C*K, L_out) patch matrix.
+
+    One strided-slice copy per kernel position (K is tiny) instead of a
+    fancy-indexed (N, C, L_out, K) temporary plus a transpose copy.
+    ``out`` is reused when its shape still matches — the training loop
+    calls this every step with a fixed batch shape.
+    """
     n, c, length = x.shape
     if pad:
         x = np.pad(x, ((0, 0), (0, 0), (pad, pad)))
     l_out = (length + 2 * pad - kernel) // stride + 1
-    idx = np.arange(kernel)[None, :] + stride * np.arange(l_out)[:, None]
-    # (N, C, L_out, K) -> (N, C*K, L_out)
-    patches = x[:, :, idx]                      # (N, C, L_out, K)
-    return patches.transpose(0, 1, 3, 2).reshape(n, c * kernel, l_out)
+    if out is None or out.shape != (n, c * kernel, l_out):
+        out = np.empty((n, c * kernel, l_out))
+    view = out.reshape(n, c, kernel, l_out)
+    span = stride * l_out
+    for k in range(kernel):
+        view[:, :, k, :] = x[:, :, k:k + span:stride]
+    return out
 
 
 def _col2im(cols: np.ndarray, x_shape: tuple, kernel: int, stride: int,
-            pad: int) -> np.ndarray:
-    """Adjoint of :func:`_im2col`."""
+            pad: int, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Adjoint of :func:`_im2col` — scatter-add via one strided-slice
+    ``+=`` per kernel position.  ``out`` must cover the padded length
+    when supplied; a view without the padding is returned."""
     n, c, length = x_shape
     l_padded = length + 2 * pad
     l_out = (l_padded - kernel) // stride + 1
-    patches = cols.reshape(n, c, kernel, l_out).transpose(0, 1, 3, 2)
-    out = np.zeros((n, c, l_padded))
-    idx = np.arange(kernel)[None, :] + stride * np.arange(l_out)[:, None]
-    np.add.at(out, (slice(None), slice(None), idx), patches)
+    patches = cols.reshape(n, c, kernel, l_out)
+    if out is None or out.shape != (n, c, l_padded):
+        out = np.zeros((n, c, l_padded))
+    else:
+        out[:] = 0.0
+    span = stride * l_out
+    for k in range(kernel):
+        out[:, :, k:k + span:stride] += patches[:, :, k, :]
     if pad:
-        out = out[:, :, pad:-pad]
+        return out[:, :, pad:-pad]
     return out
 
 
@@ -89,13 +105,18 @@ class Conv1d(Layer):
                                       (out_channels, in_channels * kernel))
         self.params["b"] = np.zeros(out_channels)
         self._cache: Optional[tuple] = None
+        # step-to-step scratch buffers; _im2col/_col2im reallocate them
+        # only when the batch shape changes (e.g. the last partial batch)
+        self._cols: Optional[np.ndarray] = None
+        self._grad_x: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 3 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"expected (N, {self.in_channels}, L), got {x.shape}"
             )
-        cols = _im2col(x, self.kernel, self.stride, self.pad)
+        cols = self._cols = _im2col(x, self.kernel, self.stride, self.pad,
+                                    out=self._cols)
         out = np.einsum("fk,nkl->nfl", self.params["w"], cols)
         out += self.params["b"][None, :, None]
         self._cache = (x.shape, cols)
@@ -106,7 +127,12 @@ class Conv1d(Layer):
         self.grads["b"] = grad.sum(axis=(0, 2))
         self.grads["w"] = np.einsum("nfl,nkl->fk", grad, cols)
         grad_cols = np.einsum("fk,nfl->nkl", self.params["w"], grad)
-        return _col2im(grad_cols, x_shape, self.kernel, self.stride, self.pad)
+        n, c, length = x_shape
+        if (self._grad_x is None
+                or self._grad_x.shape != (n, c, length + 2 * self.pad)):
+            self._grad_x = np.zeros((n, c, length + 2 * self.pad))
+        return _col2im(grad_cols, x_shape, self.kernel, self.stride, self.pad,
+                       out=self._grad_x)
 
 
 class BatchNorm1d(Layer):

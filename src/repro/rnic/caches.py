@@ -28,6 +28,10 @@ class SetAssocCache:
         self.misses = 0
         self.evictions = 0
 
+    def set_index(self, key: Hashable) -> int:
+        """The set ``key`` maps to — the mapping eviction sets target."""
+        return hash(key) % self.sets
+
     def _set_for(self, key: Hashable) -> OrderedDict:
         return self._sets[hash(key) % self.sets]
 

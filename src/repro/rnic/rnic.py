@@ -61,6 +61,11 @@ class RNIC(Engine):
             network.attach(self, link)
         rng = sim.random.stream(f"tpu.{name}")
         self.translation = TranslationUnit(self.spec, rng=rng)
+        # stream handles are cached: (seed, name) fully determines each
+        # sequence, so grabbing them eagerly changes nothing — but the
+        # per-frame f-string + registry lookup was visible in profiles
+        self._loss_rng = sim.random.stream(f"loss.{name}")
+        self._ddio_rng = sim.random.stream(f"ddio.{name}")
         self.pcie = ServiceStation(f"{name}.pcie")
         self.txpu = ServiceStation(f"{name}.txpu")
         self.rxpu = ServiceStation(f"{name}.rxpu")
@@ -88,8 +93,7 @@ class RNIC(Engine):
         static link loss plus any installed dynamic fault process."""
         if self.network is None or src is dst:
             return False
-        rng = self.sim.random.stream(f"loss.{self.name}")
-        return self.network.frame_lost(src, dst, self.sim.now, rng)
+        return self.network.frame_lost(src, dst, self.sim.now, self._loss_rng)
 
     def _packets(self, payload: int) -> int:
         return max(1, (payload + MTU - 1) // MTU)
@@ -121,6 +125,19 @@ class RNIC(Engine):
         tc = qp.traffic_class
         request_payload = wr.wire_request_bytes
         response_payload = wr.wire_response_bytes
+        rspec = responder.spec
+        # wire geometry is fixed per message — compute it once here
+        # instead of once per stage (these matched _packets/_wire_ns
+        # call pairs showed up in end-to-end profiles)
+        req_npkt = self._packets(request_payload)
+        req_nbytes = request_payload + req_npkt * spec.header_bytes
+        req_wire_ns = bytes_to_bits(req_nbytes) * SECONDS / spec.line_rate_bps
+        resp_npkt = self._packets(response_payload)
+        resp_nbytes = response_payload + resp_npkt * rspec.header_bytes
+        resp_wire_ns = (
+            bytes_to_bits(resp_nbytes) * SECONDS / rspec.line_rate_bps
+        )
+        fetch_occupancy = spec.pcie.dma_occupancy_ns(64 + request_payload)
 
         # resolve the remote MR geometry once; protection is enforced by
         # execute_data_movement at the data stage
@@ -166,14 +183,11 @@ class RNIC(Engine):
             # Inline posts are the classic fast path: the CPU writes
             # WQE+payload through MMIO (a posted write), so there is no
             # DMA read round trip at all.
-            congestion = 1.0 + self.pcie.background_utilization
+            finish = self.pcie.admit(sim.now, fetch_occupancy)
             if wr.inline:
-                occupancy = spec.pcie.dma_occupancy_ns(64 + request_payload)
-                finish = self.pcie.admit(sim.now, occupancy)
                 sim.schedule_at(finish, stage_txpu)
                 return
-            occupancy = spec.pcie.dma_occupancy_ns(64 + request_payload)
-            finish = self.pcie.admit(sim.now, occupancy)
+            congestion = 1.0 + self.pcie.background_utilization
             round_trip = spec.pcie.tlp_latency_ns * congestion
             sim.schedule_at(finish + round_trip, stage_txpu)
 
@@ -182,11 +196,8 @@ class RNIC(Engine):
             sim.schedule_at(finish, stage_wire_out)
 
         def stage_wire_out() -> None:
-            wire_ns = self._wire_ns(request_payload)
-            finish = self.wire_tx.admit(sim.now, wire_ns)
-            npkt = self._packets(request_payload)
-            nbytes = request_payload + npkt * spec.header_bytes
-            self.counters.record_tx(nbytes, tc=tc, opcode=wr.opcode)
+            finish = self.wire_tx.admit(sim.now, req_wire_ns)
+            self.counters.record_tx(req_nbytes, tc=tc, opcode=wr.opcode)
             if not qp.qp_type.acks_requests and not wr.opcode.response_carries_payload:
                 # unreliable transports are fire-and-forget: the local
                 # completion fires at send time; a lost frame silently
@@ -205,10 +216,8 @@ class RNIC(Engine):
             sim.schedule_at(finish + self._transit_ns(responder), stage_responder_rx)
 
         def stage_responder_rx() -> None:
-            npkt = self._packets(request_payload)
-            nbytes = request_payload + npkt * spec.header_bytes
-            responder.counters.record_rx(nbytes, tc=tc)
-            finish = responder.rxpu.admit(sim.now, responder.spec.rxpu_ns)
+            responder.counters.record_rx(req_nbytes, tc=tc)
+            finish = responder.rxpu.admit(sim.now, rspec.rxpu_ns)
             sim.schedule_at(finish, stage_translate)
 
         def stage_translate() -> None:
@@ -244,7 +253,7 @@ class RNIC(Engine):
                     # not modelled: a lost NAK would fall back to the
                     # slower ACK-timeout retry, same outcome later)
                     finish = responder.txpu.admit(
-                        sim.now, responder.spec.txpu_ns
+                        sim.now, rspec.txpu_ns
                     )
                     stage_rnr_nak(finish + responder._transit_ns(self))
                     return
@@ -254,7 +263,7 @@ class RNIC(Engine):
                 dma_bytes = 16  # 8 B read + 8 B write
             else:
                 dma_bytes = wr.length
-            pcie = responder.spec.pcie
+            pcie = rspec.pcie
             finish = responder.pcie.admit(sim.now, pcie.dma_occupancy_ns(dma_bytes))
             # host-read DMAs (read/atomic responses) wait the TLP
             # round trip — stretched by congestion; posted writes
@@ -263,10 +272,9 @@ class RNIC(Engine):
                 round_trip = pcie.tlp_latency_ns * (
                     1.0 + responder.pcie.background_utilization
                 )
-                rspec = responder.spec
                 if rspec.ddio_enabled:
                     # DMA from the LLC when resident, bimodal otherwise
-                    rng = sim.random.stream(f"ddio.{responder.name}")
+                    rng = responder._ddio_rng
                     if rng.random() < rspec.ddio_hit_rate:
                         round_trip -= rspec.ddio_saving_ns
                     else:
@@ -279,15 +287,12 @@ class RNIC(Engine):
             sim.schedule_at(finish, stage_response, status)
 
         def stage_response(status: WCStatus) -> None:
-            finish = responder.txpu.admit(sim.now, responder.spec.txpu_ns)
+            finish = responder.txpu.admit(sim.now, rspec.txpu_ns)
             sim.schedule_at(finish, stage_wire_back, status)
 
         def stage_wire_back(status: WCStatus) -> None:
-            wire_ns = responder._wire_ns(response_payload)
-            finish = responder.wire_tx.admit(sim.now, wire_ns)
-            npkt = responder._packets(response_payload)
-            nbytes = response_payload + npkt * responder.spec.header_bytes
-            responder.counters.record_tx(nbytes, tc=tc)
+            finish = responder.wire_tx.admit(sim.now, resp_wire_ns)
+            responder.counters.record_tx(resp_nbytes, tc=tc)
             if self._frame_lost(responder, self):
                 # ACK/response frame lost: requester times out and
                 # resends; the responder's replay cache answers without
@@ -302,9 +307,7 @@ class RNIC(Engine):
             # the frames on the wire were built by the *responder*, so
             # the byte count uses the responder's header geometry (it
             # must mirror stage_wire_back's record_tx exactly)
-            npkt = responder._packets(response_payload)
-            nbytes = response_payload + npkt * responder.spec.header_bytes
-            self.counters.record_rx(nbytes, tc=tc)
+            self.counters.record_rx(resp_nbytes, tc=tc)
             finish = self.rxpu.admit(sim.now, spec.rxpu_ns)
             cqe = self.pcie.admit(finish, spec.cqe_write_ns)
             sim.schedule_at(cqe, stage_complete, status)

@@ -10,6 +10,13 @@ Stations also accept a *background utilization* in [0, 1) contributed by
 fluid-layer bulk flows (see :mod:`repro.rnic.bandwidth`); discrete
 requests are slowed by the standard ``1 / (1 - u)`` M/G/1 inflation so
 that heavy bulk traffic visibly lengthens probe latencies.
+
+``admit()`` is on the per-packet hot path (every pipeline stage of every
+message), so the class is slotted and the inflation multiplier is cached
+when the background utilization changes rather than recomputed per
+admit.  Batch samplers (fluid/telemetry steady-state sweeps) should use
+:meth:`ServiceStation.admit_many`, which vectorizes the same recurrence
+with NumPy.
 """
 
 from __future__ import annotations
@@ -27,11 +34,15 @@ MAX_BACKGROUND_UTILIZATION = 0.8
 class ServiceStation:
     """A single-server FIFO queue with deterministic service times."""
 
+    __slots__ = ("name", "rng", "_busy_until", "_background", "_inflation",
+                 "served", "busy_ns", "wait_ns")
+
     def __init__(self, name: str, rng: Optional[np.random.Generator] = None) -> None:
         self.name = name
         self.rng = rng
         self._busy_until = 0.0
         self._background = 0.0
+        self._inflation = 1.0
         self.served = 0
         self.busy_ns = 0.0
         self.wait_ns = 0.0
@@ -46,11 +57,12 @@ class ServiceStation:
         if utilization < 0.0:
             raise ValueError(f"utilization must be >= 0, got {utilization}")
         self._background = min(utilization, MAX_BACKGROUND_UTILIZATION)
+        self._inflation = 1.0 / (1.0 - self._background)
 
     @property
     def inflation(self) -> float:
         """Service-time multiplier induced by background load."""
-        return 1.0 / (1.0 - self._background)
+        return self._inflation
 
     @property
     def busy_until(self) -> float:
@@ -60,13 +72,50 @@ class ServiceStation:
         """Serve a request arriving at ``now``; returns finish time."""
         if service_ns < 0:
             raise ValueError(f"service time must be non-negative, got {service_ns}")
-        start = max(now, self._busy_until)
-        effective = service_ns * self.inflation
+        busy = self._busy_until
+        start = now if now > busy else busy
+        effective = service_ns * self._inflation
         finish = start + effective
         self._busy_until = finish
         self.served += 1
         self.busy_ns += effective
         self.wait_ns += start - now
+        return finish
+
+    def admit_many(
+        self, arrivals: np.ndarray, service_ns: np.ndarray
+    ) -> np.ndarray:
+        """Serve a batch of requests; returns per-request finish times.
+
+        Equivalent to ``[admit(t, s) for t, s in zip(arrivals,
+        service_ns)]`` (arrivals must be non-decreasing, as they are in
+        any event-ordered caller) but vectorized: the FIFO recurrence
+        ``finish[i] = max(arrival[i], finish[i-1]) + effective[i]``
+        collapses to a running maximum over ``cumsum(effective)`` —
+        ``finish = cummax(arrival - shifted_cumsum) + cumsum``.
+        """
+        arrivals = np.asarray(arrivals, dtype=np.float64)
+        service = np.asarray(service_ns, dtype=np.float64)
+        if arrivals.shape != service.shape or arrivals.ndim != 1:
+            raise ValueError(
+                f"arrivals/service_ns must be matching 1-D arrays, got "
+                f"{arrivals.shape} and {service.shape}")
+        if service.size == 0:
+            return np.empty(0, dtype=np.float64)
+        if np.any(service < 0):
+            raise ValueError("service time must be non-negative")
+        effective = service * self._inflation
+        cum = np.cumsum(effective)
+        # start[i] = max(arrivals[i], finish[i-1]); seed with the
+        # current busy horizon so the batch queues behind earlier work.
+        floor = np.maximum(arrivals, self._busy_until)
+        starts_minus_cum = np.maximum.accumulate(floor - (cum - effective))
+        finish = starts_minus_cum + cum
+        starts = starts_minus_cum + (cum - effective)
+        self._busy_until = float(finish[-1])
+        self.served += int(service.size)
+        self.busy_ns += float(cum[-1])
+        self.wait_ns += float(np.sum(starts - arrivals))
         return finish
 
     def stall_until(self, time: float) -> None:
@@ -75,7 +124,8 @@ class ServiceStation:
         port — transmission halts for the pause quanta, queued work
         resumes afterwards.  A stall never shortens an existing busy
         horizon."""
-        self._busy_until = max(self._busy_until, time)
+        if time > self._busy_until:
+            self._busy_until = time
 
     def reset(self) -> None:
         self._busy_until = 0.0

@@ -31,12 +31,33 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import zlib
 from typing import Hashable, Optional
 
 import numpy as np
 
 from repro.rnic.caches import SetAssocCache
 from repro.rnic.spec import RNICSpec
+
+
+def mr_cache_id(mr_key: Hashable) -> int:
+    """Deterministic integer identity of an MR key for cache indexing.
+
+    Integer rkeys stand for themselves (they are small sequential
+    counters, so consecutive registrations stride the cache sets the
+    same way regardless of the counter's absolute base); every other
+    key type hashes through CRC-32, which — unlike ``hash(str)`` — is
+    not salted per process.  Process-independence matters twice: replay
+    audits compare trace digests across runs, and the parallel
+    experiment runner must produce byte-identical output from worker
+    processes.  Eviction-set construction (``repro.baselines.pythia``)
+    relies on this function matching the cache keys ``admit()`` uses.
+    """
+    if type(mr_key) is int:
+        return mr_key
+    if isinstance(mr_key, str):
+        return zlib.crc32(mr_key.encode("utf-8"))
+    return zlib.crc32(repr(mr_key).encode("utf-8"))
 
 
 @dataclasses.dataclass
@@ -85,19 +106,63 @@ class TranslationBreakdown:
 
 
 class TranslationUnit:
-    """Stateful service-time model of the TPU."""
+    """Stateful service-time model of the TPU.
+
+    ``admit()`` runs once per inbound one-sided request — it is the
+    single hottest model method in the repo — so the class is slotted,
+    the frozen spec's scalars are cached as instance floats, bank
+    occupancy lives in a plain Python list (scalar indexing, no NumPy
+    boxing), and MR keys are normalized to ints via
+    :func:`mr_cache_id` before touching the MPT/MTT caches.  That
+    pins the cache set mapping: raw string keys would go through
+    Python's per-process randomized ``hash()``, which would break
+    byte-identical replay across worker processes (``--jobs N``).
+    """
+
+    __slots__ = (
+        "spec", "rng", "mpt_cache", "mtt_cache", "stats",
+        "_bank_busy", "_pipe_busy", "_last_mr", "_last_seg_mr",
+        "_last_seg_idx", "_last_line_mr", "_last_line_idx", "_mr_ids",
+        "_nbanks", "_line_bytes", "_seg_bytes", "_base_ns",
+        "_mr_switch_ns", "_seg_miss_ns", "_line_lock_ns", "_sub8_ns",
+        "_sub64_ns", "_mpt_miss_ns", "_mtt_miss_ns", "_bank_hold_ns",
+        "_wave_half", "_two_pi", "_jitter_sigma", "_jitter_floor",
+        "_spike_prob", "_spike_ns",
+    )
 
     def __init__(self, spec: RNICSpec, rng: Optional[np.random.Generator] = None) -> None:
         self.spec = spec
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.mpt_cache = SetAssocCache(spec.mpt_cache_entries, spec.mpt_cache_ways)
         self.mtt_cache = SetAssocCache(spec.mtt_cache_entries, spec.mtt_cache_ways)
-        self._bank_busy = np.zeros(spec.tpu_banks, dtype=np.float64)
+        self._bank_busy = [0.0] * spec.tpu_banks
         self._pipe_busy = 0.0
-        self._last_mr: Optional[Hashable] = None
-        self._last_segment: Optional[tuple] = None
-        self._last_line: Optional[tuple] = None
+        self._last_mr: Optional[int] = None
+        self._last_seg_mr: Optional[int] = None
+        self._last_seg_idx = -1
+        self._last_line_mr: Optional[int] = None
+        self._last_line_idx = -1
+        self._mr_ids: dict[Hashable, int] = {}
         self.stats = TranslationStats()
+        # Cached copies of the frozen spec's hot scalars.
+        self._nbanks = spec.tpu_banks
+        self._line_bytes = spec.tpu_line_bytes
+        self._seg_bytes = spec.tpu_segment_bytes
+        self._base_ns = spec.tpu_base_ns
+        self._mr_switch_ns = spec.tpu_mr_switch_ns
+        self._seg_miss_ns = spec.tpu_segment_miss_ns
+        self._line_lock_ns = spec.tpu_same_line_lock_ns
+        self._sub8_ns = spec.tpu_sub8_penalty_ns
+        self._sub64_ns = spec.tpu_sub64_penalty_ns
+        self._mpt_miss_ns = spec.mpt_miss_ns
+        self._mtt_miss_ns = spec.mtt_miss_ns
+        self._bank_hold_ns = spec.tpu_bank_busy_ns
+        self._wave_half = spec.tpu_segment_wave_ns * 0.5
+        self._two_pi = 2.0 * math.pi
+        self._jitter_sigma = spec.jitter_frac * spec.tpu_base_ns
+        self._jitter_floor = -0.5 * spec.tpu_base_ns
+        self._spike_prob = spec.spike_prob
+        self._spike_ns = spec.spike_ns
 
     # ------------------------------------------------------------------
     # Geometry helpers
@@ -159,74 +224,126 @@ class TranslationUnit:
         unless requested.  State (pipeline, banks, history registers,
         caches) is updated.
         """
-        spec = self.spec
-        self.stats.requests += 1
+        stats = self.stats
+        stats.requests += 1
 
         # bank availability over the touched lines
-        lines = self.lines_touched(offset, size)
-        banks = [line % spec.tpu_banks for line in lines]
-        bank_ready = float(max(self._bank_busy[b] for b in banks))
-        start = max(now, self._pipe_busy, bank_ready)
-        bank_wait = start - max(now, self._pipe_busy)
-        self.stats.bank_wait_ns += bank_wait
+        line_bytes = self._line_bytes
+        nbanks = self._nbanks
+        first_line = offset // line_bytes
+        if size > 1:
+            last_line = (offset + size - 1) // line_bytes
+        else:
+            last_line = first_line
+        bank_busy = self._bank_busy
+        if first_line == last_line:
+            banks = None
+            first_bank = first_line % nbanks
+            bank_ready = bank_busy[first_bank]
+        else:
+            banks = [line % nbanks
+                     for line in range(first_line, last_line + 1)]
+            first_bank = banks[0]
+            bank_ready = max(bank_busy[b] for b in banks)
+        pipe_busy = self._pipe_busy
+        issue_ready = now if now > pipe_busy else pipe_busy
+        start = bank_ready if bank_ready > issue_ready else issue_ready
+        bank_wait = start - issue_ready
+        stats.bank_wait_ns += bank_wait
 
-        # cache lookups
+        # cache lookups (MR keys normalized to ints — see mr_cache_id)
+        if type(mr_key) is int:
+            mr_id = mr_key
+        else:
+            mr_ids = self._mr_ids
+            mr_id = mr_ids.get(mr_key)
+            if mr_id is None:
+                mr_id = mr_ids[mr_key] = mr_cache_id(mr_key)
         cache_miss = 0.0
-        if not self.mpt_cache.access(("mpt", mr_key)):
-            cache_miss += spec.mpt_miss_ns
-        segment = self.segment_of(offset)
-        if not self.mtt_cache.access(("mtt", mr_key, segment)):
-            cache_miss += spec.mtt_miss_ns
+        if not self.mpt_cache.access(mr_id):
+            cache_miss += self._mpt_miss_ns
+        segment = offset // self._seg_bytes
+        if not self.mtt_cache.access((mr_id, segment)):
+            cache_miss += self._mtt_miss_ns
 
         # history-dependent components
         mr_switch = 0.0
-        if self._last_mr is not None and mr_key != self._last_mr:
-            mr_switch = spec.tpu_mr_switch_ns
-            self.stats.mr_switches += 1
-        self._last_mr = mr_key
+        if self._last_mr is not None and mr_id != self._last_mr:
+            mr_switch = self._mr_switch_ns
+            stats.mr_switches += 1
+        self._last_mr = mr_id
 
         segment_pen = 0.0
-        seg_key = (mr_key, segment)
-        if self._last_segment is not None and seg_key != self._last_segment:
-            segment_pen = spec.tpu_segment_miss_ns
-            self.stats.segment_misses += 1
-        self._last_segment = seg_key
+        if self._last_seg_mr is not None and (
+                mr_id != self._last_seg_mr or segment != self._last_seg_idx):
+            segment_pen = self._seg_miss_ns
+            stats.segment_misses += 1
+        self._last_seg_mr = mr_id
+        self._last_seg_idx = segment
 
         line_lock = 0.0
-        line_key = (mr_key, lines[0])
-        if self._last_line is not None and line_key == self._last_line:
-            line_lock = spec.tpu_same_line_lock_ns
-        self._last_line = line_key
+        if mr_id == self._last_line_mr and first_line == self._last_line_idx:
+            line_lock = self._line_lock_ns
+        self._last_line_mr = mr_id
+        self._last_line_idx = first_line
 
-        breakdown = TranslationBreakdown(
-            bank_wait=bank_wait,
-            base=spec.tpu_base_ns,
-            alignment=self._alignment_penalty(offset),
-            segment=segment_pen,
-            wave=self._wave(offset),
-            mr_switch=mr_switch,
-            line_lock=line_lock,
-            cache_miss=cache_miss,
-            jitter=self._jitter(),
-        )
-        service = breakdown.service
+        # service components, in the fixed order the digest audits pin
+        if offset % 8:
+            stats.unaligned8 += 1
+            alignment = self._sub8_ns
+        elif offset % line_bytes:
+            stats.unaligned64 += 1
+            alignment = self._sub64_ns
+        else:
+            alignment = 0.0
+
+        pos = (offset % self._seg_bytes) / self._seg_bytes
+        wave = self._wave_half * (1.0 - math.cos(self._two_pi * pos))
+
+        rng = self.rng
+        jitter = float(rng.normal(0.0, self._jitter_sigma))
+        if rng.random() < self._spike_prob:
+            jitter += float(rng.exponential(self._spike_ns))
+        if jitter < self._jitter_floor:
+            jitter = self._jitter_floor
+
+        service = (self._base_ns + alignment + segment_pen + wave
+                   + mr_switch + line_lock + cache_miss + jitter)
         finish = start + service
-        self.stats.busy_ns += service
+        stats.busy_ns += service
 
         # the pipeline frees up before the banks do: bank occupancy
         # (descriptor writeback) extends past issue
         self._pipe_busy = finish
-        busy_until = finish + spec.tpu_bank_busy_ns
-        for bank in banks:
-            if self._bank_busy[bank] < busy_until:
-                self._bank_busy[bank] = busy_until
+        busy_until = finish + self._bank_hold_ns
+        if banks is None:
+            if bank_busy[first_bank] < busy_until:
+                bank_busy[first_bank] = busy_until
+        else:
+            for bank in banks:
+                if bank_busy[bank] < busy_until:
+                    bank_busy[bank] = busy_until
 
-        return finish, (breakdown if want_breakdown else None)
+        if want_breakdown:
+            return finish, TranslationBreakdown(
+                bank_wait=bank_wait,
+                base=self._base_ns,
+                alignment=alignment,
+                segment=segment_pen,
+                wave=wave,
+                mr_switch=mr_switch,
+                line_lock=line_lock,
+                cache_miss=cache_miss,
+                jitter=jitter,
+            )
+        return finish, None
 
     def reset_history(self) -> None:
         """Clear history registers and bank occupancy (not the caches)."""
-        self._bank_busy[:] = 0.0
+        self._bank_busy = [0.0] * self._nbanks
         self._pipe_busy = 0.0
         self._last_mr = None
-        self._last_segment = None
-        self._last_line = None
+        self._last_seg_mr = None
+        self._last_seg_idx = -1
+        self._last_line_mr = None
+        self._last_line_idx = -1

@@ -23,9 +23,13 @@ class SnoopDataset:
     @classmethod
     def generate(cls, per_class: int, spec=None,
                  config: Optional[SnoopConfig] = None,
-                 seed: int = 0) -> "SnoopDataset":
+                 seed: int = 0, jobs: int = 1) -> "SnoopDataset":
+        """Synthesize and normalize the dataset.  ``jobs > 1`` fans the
+        per-class synthesis out over worker processes; traces are seeded
+        per (class, repeat), so the result is byte-identical to a serial
+        build."""
         synthesizer = TraceSynthesizer(spec=spec, config=config, seed=seed)
-        raw_x, y = synthesizer.labelled_traces(per_class)
+        raw_x, y = synthesizer.labelled_traces(per_class, jobs=jobs)
         return cls(x=cls.normalize(raw_x), y=y)
 
     @staticmethod

@@ -23,7 +23,9 @@ Two capture paths:
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
+import multiprocessing
 from typing import Optional
 
 import numpy as np
@@ -93,19 +95,29 @@ class TraceSynthesizer:
                  seed: int = 0) -> None:
         self.spec = spec if spec is not None else cx5()
         self.config = config if config is not None else SnoopConfig()
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
 
-    def trace(self, victim_offset: int, file_base: int = 0) -> np.ndarray:
+    def trace(self, victim_offset: int, file_base: int = 0,
+              rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """One 257-dimensional attacker trace for a victim reading
-        ``file_base + victim_offset``."""
+        ``file_base + victim_offset``.
+
+        ``rng`` defaults to the synthesizer's own sequential stream;
+        dataset builds pass per-trace streams instead (see
+        :meth:`labelled_traces`) so traces are independent of generation
+        order.
+        """
         if victim_offset not in CANDIDATE_OFFSETS:
             raise ValueError(
                 f"victim offset {victim_offset} not in the candidate set"
             )
+        if rng is None:
+            rng = self.rng
         cfg = self.config
         unit = TranslationUnit(
             self.spec,
-            rng=np.random.default_rng(self.rng.integers(2**63)),
+            rng=np.random.default_rng(rng.integers(2**63)),
         )
         mr_key = "shared-file"
         now = 0.0
@@ -115,12 +127,12 @@ class TraceSynthesizer:
         for index, obs_offset in enumerate(offsets):
             samples = np.empty(cfg.probes_per_point)
             for probe in range(cfg.probes_per_point):
-                if self.rng.random() < cfg.victim_duty:
+                if rng.random() < cfg.victim_duty:
                     now, _ = unit.admit(
                         now, mr_key, file_base + victim_offset, cfg.read_size
                     )
-                if self.rng.random() < cfg.ambient_rate:
-                    stray = 64 * int(self.rng.integers(0, 32768))
+                if rng.random() < cfg.ambient_rate:
+                    stray = 64 * int(rng.integers(0, 32768))
                     now, _ = unit.admit(now, "ambient-mr", stray, cfg.read_size)
                 arrival = now + gap
                 finish, _ = unit.admit(
@@ -131,18 +143,68 @@ class TraceSynthesizer:
             trace[index] = samples.mean()
         return trace
 
-    def labelled_traces(self, per_class: int,
-                        file_base: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    def _trace_rng(self, label: int, repeat: int) -> np.random.Generator:
+        """The stream for one (class, repeat) trace.  Keyed on the tuple
+        rather than drawn from a shared sequence, so any partitioning of
+        the dataset across workers reproduces the serial build exactly."""
+        return np.random.default_rng(
+            np.random.SeedSequence((self.seed, label, repeat))
+        )
+
+    def class_traces(self, label: int, per_class: int,
+                     file_base: int = 0) -> np.ndarray:
+        """All ``per_class`` traces for one candidate-set label."""
+        offset = CANDIDATE_OFFSETS[label]
+        return np.stack([
+            self.trace(offset, file_base=file_base,
+                       rng=self._trace_rng(label, repeat))
+            for repeat in range(per_class)
+        ])
+
+    def labelled_traces(
+        self, per_class: int, file_base: int = 0, jobs: int = 1,
+    ) -> tuple[np.ndarray, np.ndarray]:
         """``per_class`` traces for every candidate; returns (X, y) with
-        X of shape (17*per_class, len(observation_offsets))."""
+        X of shape (17*per_class, len(observation_offsets)).
+
+        ``jobs > 1`` synthesizes the candidate classes on a process
+        pool.  Each trace draws from its own ``(seed, label, repeat)``
+        stream, so the parallel dataset is byte-identical to the serial
+        one.
+        """
         if per_class <= 0:
             raise ValueError("per_class must be positive")
-        xs, ys = [], []
-        for label, offset in enumerate(CANDIDATE_OFFSETS):
-            for _ in range(per_class):
-                xs.append(self.trace(offset, file_base=file_base))
-                ys.append(label)
-        return np.asarray(xs), np.asarray(ys)
+        if jobs < 1:
+            raise ValueError("jobs must be positive")
+        labels = range(len(CANDIDATE_OFFSETS))
+        if jobs == 1:
+            per_label = [
+                self.class_traces(label, per_class, file_base=file_base)
+                for label in labels
+            ]
+        else:
+            context = multiprocessing.get_context("spawn")
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(jobs, len(CANDIDATE_OFFSETS)),
+                mp_context=context,
+            ) as pool:
+                futures = [
+                    pool.submit(_synthesize_class, self.spec, self.config,
+                                self.seed, label, per_class, file_base)
+                    for label in labels
+                ]
+                per_label = [future.result() for future in futures]
+        xs = np.concatenate(per_label)
+        ys = np.repeat(np.arange(len(CANDIDATE_OFFSETS)), per_class)
+        return xs, ys
+
+
+def _synthesize_class(spec: RNICSpec, config: SnoopConfig, seed: int,
+                      label: int, per_class: int, file_base: int) -> np.ndarray:
+    """Pool worker: one candidate class's traces.  Module-level so the
+    spawn start method can pickle it by qualified name."""
+    synthesizer = TraceSynthesizer(spec=spec, config=config, seed=seed)
+    return synthesizer.class_traces(label, per_class, file_base=file_base)
 
 
 def capture_trace_sim(

@@ -6,8 +6,8 @@ seedable random streams.  All RNIC, fabric and host models are built as
 callbacks/processes on top of this module.
 """
 
-from repro.sim.event import Event, EventQueue
-from repro.sim.kernel import Simulator, SimulationError
+from repro.sim.event import PyEventCore
+from repro.sim.kernel import KERNEL_ENGINE, Simulator, SimulationError
 from repro.sim.process import Process, Timeout, Waiter
 from repro.sim.random import RandomStreams
 from repro.sim.units import (
@@ -27,8 +27,8 @@ from repro.sim.units import (
 )
 
 __all__ = [
-    "Event",
-    "EventQueue",
+    "KERNEL_ENGINE",
+    "PyEventCore",
     "Simulator",
     "SimulationError",
     "Process",

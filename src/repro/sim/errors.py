@@ -1,0 +1,14 @@
+"""Kernel error types.
+
+Lives in its own leaf module so that both kernel engines — the
+pure-Python :class:`~repro.sim.event.PyEventCore` and the C
+``repro.sim._speedups.EventCore`` — can raise the same exception class
+without importing :mod:`repro.sim.kernel` (the C module resolves this
+class at import time, which must not recurse into the kernel).
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, etc.)."""

@@ -1,128 +1,59 @@
-"""The simulation kernel: clock + event loop."""
+"""The simulation kernel: clock + event loop.
+
+The kernel is split into an *engine core* — the heap and the fused
+pop+dispatch loop — and the :class:`Simulator` facade that adds named
+random streams and determinism tracing.  Two interchangeable cores
+exist:
+
+* ``repro.sim._speedups.EventCore`` — a C extension (build it with
+  ``tools/build_speedups.sh``), the default when importable;
+* :class:`repro.sim.event.PyEventCore` — pure Python, always
+  available.
+
+Set ``REPRO_SIM_ENGINE=python`` to force the fallback (the benchmarks
+and the engine-equivalence tests use this).  Both engines implement
+identical semantics — event order, counters, trace digests — so which
+one is active never changes simulation results, only wall-clock speed.
+"""
 
 from __future__ import annotations
 
 import hashlib
+import os
 import struct
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
-from repro.sim.event import Event, EventQueue
+from repro.sim.errors import SimulationError
+from repro.sim.event import PyEventCore
 from repro.sim.random import RandomStreams
 
-
-class SimulationError(RuntimeError):
-    """Raised for kernel misuse (scheduling in the past, etc.)."""
+__all__ = ["Simulator", "SimulationError", "KERNEL_ENGINE"]
 
 
-class Simulator:
-    """A nanosecond-resolution discrete-event simulator.
+def _select_core() -> tuple[type, str]:
+    if os.environ.get("REPRO_SIM_ENGINE", "").lower() != "python":
+        try:
+            from repro.sim import _speedups
+            return _speedups.EventCore, "c"
+        except ImportError:
+            pass
+    return PyEventCore, "python"
 
-    Usage::
 
-        sim = Simulator(seed=7)
-        sim.schedule(100.0, lambda: print("at t=100ns"))
-        sim.run()
+_CORE, KERNEL_ENGINE = _select_core()
 
-    The kernel is single-threaded and deterministic: equal-time events
-    fire in scheduling order, and all randomness flows through the named
-    streams of :class:`~repro.sim.random.RandomStreams`.
-    """
+
+class _SimulatorMixin:
+    """Seeded randomness + determinism tracing over an engine core."""
+
+    __slots__ = ()
 
     def __init__(self, seed: int = 0, trace: bool = False) -> None:
-        self.now: float = 0.0
+        super().__init__()
         self.random = RandomStreams(seed)
-        self._queue = EventQueue()
-        self._running = False
-        self._event_count = 0
-        self._trace = hashlib.blake2b(digest_size=16) if trace else None
-
-    # ------------------------------------------------------------------
-    # Scheduling
-    # ------------------------------------------------------------------
-    def schedule(
-        self,
-        delay: float,
-        callback: Callable[..., Any],
-        *args: Any,
-        priority: int = 0,
-    ) -> Event:
-        """Schedule ``callback(*args)`` to fire ``delay`` ns from now."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
-        return self._queue.push(self.now + delay, callback, args, priority)
-
-    def schedule_at(
-        self,
-        time: float,
-        callback: Callable[..., Any],
-        *args: Any,
-        priority: int = 0,
-    ) -> Event:
-        """Schedule ``callback(*args)`` at absolute time ``time``."""
-        if time < self.now:
-            raise SimulationError(
-                f"cannot schedule at t={time!r} < now={self.now!r}"
-            )
-        return self._queue.push(time, callback, args, priority)
-
-    # ------------------------------------------------------------------
-    # Running
-    # ------------------------------------------------------------------
-    def step(self) -> bool:
-        """Fire the next event.  Returns False when the queue is empty."""
-        event = self._queue.pop()
-        if event is None:
-            return False
-        if event.time < self.now:  # pragma: no cover - defensive
-            raise SimulationError("event queue time went backwards")
-        self.now = event.time
-        self._event_count += 1
-        if self._trace is not None:
-            callback = event.callback
-            label = getattr(callback, "__qualname__",
-                            type(callback).__name__)
-            self._trace.update(struct.pack("<dq", event.time, event.priority))
-            self._trace.update(label.encode("utf-8", "replace"))
-        event.callback(*event.args)
-        return True
-
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Run until the queue drains, ``until`` is reached, or
-        ``max_events`` events have fired (whichever comes first).
-
-        When stopping at ``until``, the clock is advanced to exactly
-        ``until`` so samplers see a consistent end time.
-        """
-        self._running = True
-        fired = 0
-        try:
-            while self._running:
-                if max_events is not None and fired >= max_events:
-                    break
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                self.step()
-                fired += 1
-        finally:
-            self._running = False
-        if until is not None and self.now < until:
-            self.now = until
-
-    def stop(self) -> None:
-        """Stop a running :meth:`run` loop after the current event."""
-        self._running = False
-
-    @property
-    def pending(self) -> int:
-        """Number of events still in the queue (including cancelled)."""
-        return len(self._queue)
-
-    @property
-    def events_fired(self) -> int:
-        return self._event_count
+        self._trace = None
+        if trace:
+            self.enable_tracing()
 
     # ------------------------------------------------------------------
     # Determinism tracing (see repro.lint.determinism)
@@ -134,6 +65,19 @@ class Simulator:
         pinpoints the first nondeterministic event ordering."""
         if self._trace is None:
             self._trace = hashlib.blake2b(digest_size=16)
+            self._install_trace_hook()
+
+    def _install_trace_hook(self) -> None:
+        update = self._trace.update
+        pack = struct.pack
+
+        def hook(time: float, priority: int, callback: Any) -> None:
+            label = getattr(callback, "__qualname__",
+                            type(callback).__name__)
+            update(pack("<dq", time, priority))
+            update(label.encode("utf-8", "replace"))
+
+        self._set_trace_hook(hook)
 
     @property
     def trace_digest(self) -> Optional[str]:
@@ -146,8 +90,40 @@ class Simulator:
     def reset(self) -> None:
         """Clear the queue and rewind the clock (random streams persist;
         an enabled trace digest restarts empty)."""
-        self._queue.clear()
-        self.now = 0.0
-        self._event_count = 0
+        super().reset()
         if self._trace is not None:
             self._trace = hashlib.blake2b(digest_size=16)
+            self._install_trace_hook()
+
+
+class Simulator(_SimulatorMixin, _CORE):
+    """A nanosecond-resolution discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator(seed=7)
+        sim.schedule(100.0, lambda: print("at t=100ns"))
+        sim.run()
+
+    The kernel is single-threaded and deterministic: equal-time events
+    fire in scheduling order (priority, then scheduling sequence, break
+    ties), and all randomness flows through the named streams of
+    :class:`~repro.sim.random.RandomStreams`.
+
+    ``schedule``/``schedule_at`` return an opaque handle; pass it to
+    :meth:`cancel` to lazily cancel the event.  The hot methods
+    (``schedule``, ``step``, ``run``) are implemented by the selected
+    engine core — see the module docstring.
+    """
+
+    __slots__ = ("random", "_trace")
+
+
+def make_simulator_class(core: type) -> type:
+    """Build a Simulator class over an explicit engine core.
+
+    Used by the engine-equivalence tests to drive the pure-Python core
+    even when the C extension is importable.
+    """
+    return type("Simulator_" + core.__name__, (_SimulatorMixin, core),
+                {"__slots__": ("random", "_trace")})

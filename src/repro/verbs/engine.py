@@ -19,9 +19,15 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.verbs.enums import REQUIRED_REMOTE_ACCESS, AccessFlags, Opcode, WCStatus
+from repro.verbs.enums import (
+    REQUIRED_REMOTE_ACCESS,
+    AccessFlags,
+    Opcode,
+    QPType,
+    WCStatus,
+)
 from repro.verbs.errors import QueueFullError, RemoteAccessError
-from repro.verbs.wr import SendWR
+from repro.verbs.wr import GRH_BYTES, SendWR
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.verbs.qp import QueuePair
@@ -45,9 +51,6 @@ def execute_data_movement(qp: "QueuePair", wr: SendWR) -> WCStatus:
     memories.  Returns the completion status instead of raising, the way
     a real RNIC reports remote access faults through CQEs.
     """
-    from repro.verbs.enums import QPType
-    from repro.verbs.wr import GRH_BYTES
-
     remote_qp = resolve_remote_qp(qp, wr)
     remote_ctx = remote_qp.context
     local_mem = qp.context.memory

@@ -6,7 +6,14 @@ import enum
 
 
 class Opcode(enum.Enum):
-    """RDMA work-request opcodes (subset relevant to Ragnar)."""
+    """RDMA work-request opcodes (subset relevant to Ragnar).
+
+    The classification flags (``is_atomic``, ``is_one_sided``, …) are
+    plain member attributes, precomputed right after the class body:
+    the RNIC pipeline consults them several times per message, and a
+    descriptor call plus tuple scan per check showed up in end-to-end
+    profiles.
+    """
 
     RDMA_READ = "RDMA_READ"
     RDMA_WRITE = "RDMA_WRITE"
@@ -15,33 +22,28 @@ class Opcode(enum.Enum):
     ATOMIC_FETCH_ADD = "ATOMIC_FETCH_ADD"
     ATOMIC_CMP_SWP = "ATOMIC_CMP_SWP"
 
-    @property
-    def is_atomic(self) -> bool:
-        return self in (Opcode.ATOMIC_FETCH_ADD, Opcode.ATOMIC_CMP_SWP)
+    is_atomic: bool
+    #: One-sided verbs bypass the remote CPU entirely.
+    is_one_sided: bool
+    needs_remote_addr: bool
+    #: True if the request packet carries the message payload.
+    carries_request_payload: bool
+    #: True if the response packet carries the message payload.
+    response_carries_payload: bool
 
-    @property
-    def is_one_sided(self) -> bool:
-        """One-sided verbs bypass the remote CPU entirely."""
-        return self in (
-            Opcode.RDMA_READ,
-            Opcode.RDMA_WRITE,
-            Opcode.ATOMIC_FETCH_ADD,
-            Opcode.ATOMIC_CMP_SWP,
-        )
 
-    @property
-    def needs_remote_addr(self) -> bool:
-        return self.is_one_sided
-
-    @property
-    def carries_request_payload(self) -> bool:
-        """True if the request packet carries the message payload."""
-        return self in (Opcode.RDMA_WRITE, Opcode.SEND)
-
-    @property
-    def response_carries_payload(self) -> bool:
-        """True if the response packet carries the message payload."""
-        return self is Opcode.RDMA_READ
+for _op in Opcode:
+    _op.is_atomic = _op in (Opcode.ATOMIC_FETCH_ADD, Opcode.ATOMIC_CMP_SWP)
+    _op.is_one_sided = _op in (
+        Opcode.RDMA_READ,
+        Opcode.RDMA_WRITE,
+        Opcode.ATOMIC_FETCH_ADD,
+        Opcode.ATOMIC_CMP_SWP,
+    )
+    _op.needs_remote_addr = _op.is_one_sided
+    _op.carries_request_payload = _op in (Opcode.RDMA_WRITE, Opcode.SEND)
+    _op.response_carries_payload = _op is Opcode.RDMA_READ
+del _op
 
 
 class QPType(enum.Enum):
@@ -51,18 +53,17 @@ class QPType(enum.Enum):
     UC = "UC"  # unreliable connection
     UD = "UD"  # unreliable datagram
 
-    @property
-    def supports_rdma_read(self) -> bool:
-        return self is QPType.RC
+    supports_rdma_read: bool
+    supports_atomics: bool
+    #: Reliable transports generate the ACK reverse flow (Figure 3).
+    acks_requests: bool
 
-    @property
-    def supports_atomics(self) -> bool:
-        return self is QPType.RC
 
-    @property
-    def acks_requests(self) -> bool:
-        """Reliable transports generate the ACK reverse flow (Figure 3)."""
-        return self is QPType.RC
+for _qt in QPType:
+    _qt.supports_rdma_read = _qt is QPType.RC
+    _qt.supports_atomics = _qt is QPType.RC
+    _qt.acks_requests = _qt is QPType.RC
+del _qt
 
 
 class QPState(enum.Enum):

@@ -10,6 +10,7 @@ from repro.baselines import (
 )
 from repro.covert import random_bits
 from repro.rnic import SetAssocCache, cx5
+from repro.rnic.translation import mr_cache_id
 
 
 class TestEvictionSet:
@@ -19,18 +20,18 @@ class TestEvictionSet:
         candidates = list(range(2000, 4000))
         eviction_set = find_eviction_set(cache, target, candidates)
         assert len(eviction_set) == 4
-        target_set = hash(("mpt", target)) % cache.sets
+        target_set = cache.set_index(mr_cache_id(target))
         for rkey in eviction_set:
-            assert hash(("mpt", rkey)) % cache.sets == target_set
+            assert cache.set_index(mr_cache_id(rkey)) == target_set
 
     def test_eviction_set_actually_evicts(self):
         cache = SetAssocCache(entries=64, ways=4)
         target = 1000
         eviction_set = find_eviction_set(cache, target, list(range(2000, 4000)))
-        cache.access(("mpt", target))
+        cache.access(mr_cache_id(target))
         for rkey in eviction_set:
-            cache.access(("mpt", rkey))
-        assert not cache.probe(("mpt", target))
+            cache.access(mr_cache_id(rkey))
+        assert not cache.probe(mr_cache_id(target))
 
 
 class TestPythiaChannel:

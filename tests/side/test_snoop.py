@@ -87,6 +87,28 @@ class TestSynthesizer:
         np.testing.assert_allclose(a, b)
 
 
+class TestParallelSynthesis:
+    def test_jobs_build_byte_identical(self):
+        serial_x, serial_y = TraceSynthesizer(seed=9).labelled_traces(
+            per_class=2)
+        parallel_x, parallel_y = TraceSynthesizer(seed=9).labelled_traces(
+            per_class=2, jobs=3)
+        np.testing.assert_array_equal(serial_x, parallel_x)
+        np.testing.assert_array_equal(serial_y, parallel_y)
+
+    def test_class_block_independent_of_build_order(self):
+        # class 5's traces must not depend on classes 0-4 having been
+        # synthesized first — that independence is what makes any
+        # partitioning across workers reproduce the serial build
+        block = TraceSynthesizer(seed=9).class_traces(5, per_class=2)
+        full, _ = TraceSynthesizer(seed=9).labelled_traces(per_class=2)
+        np.testing.assert_array_equal(block, full[10:12])
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            TraceSynthesizer(seed=0).labelled_traces(per_class=1, jobs=0)
+
+
 class TestSimCapture:
     def test_sim_trace_bump_position(self):
         trace = capture_trace_sim(512, seed=1)

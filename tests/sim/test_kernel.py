@@ -90,8 +90,8 @@ def test_events_can_schedule_events():
 def test_cancelled_event_does_not_fire():
     sim = Simulator()
     fired = []
-    event = sim.schedule(10.0, fired.append, "x")
-    event.cancel()
+    handle = sim.schedule(10.0, fired.append, "x")
+    sim.cancel(handle)
     sim.schedule(20.0, fired.append, "y")
     sim.run()
     assert fired == ["y"]

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Build the optional C event-kernel accelerator in place:
+#
+#   tools/build_speedups.sh          # build src/repro/sim/_speedups.*.so
+#   tools/build_speedups.sh --check  # exit 0 iff the built module imports
+#
+# Plain cc against the current interpreter's headers — no pip, no
+# setuptools.  Everything keeps working without the .so (repro.sim
+# falls back to the pure-Python core), so failure here is advisory.
+set -u
+cd "$(dirname "$0")/.."
+
+PYTHON="${PYTHON:-python3}"
+SRC=src/repro/sim/_speedups.c
+
+include_dir="$("$PYTHON" -c 'import sysconfig; print(sysconfig.get_paths()["include"])')"
+ext_suffix="$("$PYTHON" -c 'import sysconfig; print(sysconfig.get_config_var("EXT_SUFFIX"))')"
+out="src/repro/sim/_speedups${ext_suffix}"
+
+if ! command -v cc >/dev/null 2>&1; then
+    echo "build_speedups: no C compiler on PATH; using the pure-Python kernel" >&2
+    exit 1
+fi
+
+if [ "${1:-}" = "--check" ]; then
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" "$PYTHON" - <<'EOF'
+import sys
+try:
+    from repro.sim import _speedups
+except ImportError:
+    sys.exit(1)
+print(f"_speedups OK: {_speedups.__file__}")
+EOF
+    exit $?
+fi
+
+# Skip the rebuild when the source is unchanged and older than the .so.
+if [ -e "$out" ] && [ "$out" -nt "$SRC" ]; then
+    echo "build_speedups: $out is up to date"
+    exit 0
+fi
+
+set -x
+cc -O2 -fPIC -shared -Wall -Wextra -Wno-unused-parameter \
+    -I"$include_dir" "$SRC" -o "$out"
+set +x
+echo "build_speedups: built $out"

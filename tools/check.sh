@@ -14,7 +14,13 @@
 #                      seeds, bit-identical or bust
 #   4. faults smoke  — BLOCKING: the fault-injection experiment end to
 #                      end at CI scale (docs/FAULTS.md)
-#   5. pytest tier-1 — BLOCKING: the full unit/integration suite
+#   5. speedups      — ADVISORY: build the C event-kernel accelerator
+#                      (repro.sim falls back to pure Python without it)
+#   6. bench gate    — BLOCKING: simulator throughput vs the committed
+#                      baseline (docs/PERF.md); fails on a >20 %
+#                      event-dispatch regression, skips on engine
+#                      mismatch
+#   7. pytest tier-1 — BLOCKING: the full unit/integration suite
 set -u
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -46,6 +52,12 @@ python -m repro.lint --audit inter-mr || fail=1
 
 echo "== faults experiment smoke (blocking) =="
 python -m repro.experiments faults --smoke --out "$(mktemp -d)" || fail=1
+
+echo "== C event-kernel build (advisory) =="
+tools/build_speedups.sh || echo "-- C accelerator unavailable; pure-Python kernel in use"
+
+echo "== simulator benchmark gate (blocking) =="
+python tools/bench_gate.py || fail=1
 
 if [ "$fast" -eq 0 ]; then
     echo "== pytest tier-1 (blocking) =="
