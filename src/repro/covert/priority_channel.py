@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 from repro.covert.lockstep import decode_windows
 from repro.covert.result import ChannelResult
 from repro.host.cluster import Cluster
+from repro.obs import runtime as _obs
 from repro.rnic.bandwidth import FluidFlow
 from repro.rnic.spec import RNICSpec, cx5
 from repro.sim.units import MILLISECONDS, SECONDS
@@ -91,9 +92,14 @@ class PriorityChannel:
         rnic.add_fluid_flow(monitor_flow)
 
         samples: list[tuple[float, float]] = []
+        obs = _obs.tracer_for(cluster.sim)
 
         def sample_bandwidth() -> None:
-            samples.append((cluster.sim.now, rnic.fluid_bandwidth(monitor_flow)))
+            bandwidth = rnic.fluid_bandwidth(monitor_flow)
+            samples.append((cluster.sim.now, bandwidth))
+            if obs is not None:
+                obs.counter("covert.rx_bandwidth", {"bps": bandwidth},
+                            category="covert", component="covert.rx")
             cluster.sim.schedule(cfg.sample_interval_ns, sample_bandwidth)
 
         cluster.sim.schedule(cfg.sample_interval_ns, sample_bandwidth)
@@ -114,6 +120,9 @@ class PriorityChannel:
             )
             rnic.add_fluid_flow(flow)
             current_flow[0] = flow
+            if obs is not None:
+                obs.instant("covert.bit", category="covert",
+                            component="covert.tx", bit=bit, msg_size=size)
 
         start = cluster.sim.now
         for index, bit in enumerate(bits):

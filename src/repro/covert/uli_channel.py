@@ -43,6 +43,7 @@ from repro.covert.lockstep import (
 from repro.covert.result import ChannelResult
 from repro.fabric.network import Link
 from repro.host.cluster import Cluster
+from repro.obs import runtime as _obs
 from repro.host.node import Host
 from repro.rnic.spec import RNICSpec, cx5
 from repro.sim.units import MEBIBYTE, MICROSECONDS
@@ -126,6 +127,10 @@ class AmbientClient:
         self.active = False
         self._reader = PipelinedReader(self.conn, self._next_target,
                                        depth=config.ambient_depth)
+        self._obs = _obs.tracer_for(cluster.sim)
+        # handle of the pending toggle, kept so stop() can cancel it —
+        # dropping it would leave a zombie on/off chain after restart
+        self._handle = None
 
     def _next_target(self) -> ProbeTarget:
         # benign tenants read aligned records
@@ -133,7 +138,19 @@ class AmbientClient:
         return ProbeTarget(self.mr, offset, int(self.rng.choice([64, 256, 1024])))
 
     def start(self) -> None:
+        if self._handle is not None:
+            raise RuntimeError("ambient client already started")
         self._toggle()
+
+    def stop(self) -> None:
+        """Cancel the pending toggle and quiesce the reader; a later
+        :meth:`start` resumes cleanly with a single toggle chain."""
+        if self._handle is not None:
+            self.cluster.sim.cancel(self._handle)
+            self._handle = None
+        if self.active:
+            self._reader.stop()
+            self.active = False
 
     def _toggle(self) -> None:
         if self.active:
@@ -144,8 +161,12 @@ class AmbientClient:
             self._reader.resume()
             self.active = True
             mean = self.config.ambient_on_ns
+        if self._obs is not None:
+            self._obs.instant("ambient.on" if self.active else "ambient.off",
+                              category="covert", component="covert.ambient")
         delay = float(self.rng.exponential(mean))
-        self.cluster.sim.schedule(max(delay, 1000.0), self._toggle)
+        self._handle = self.cluster.sim.schedule(
+            max(delay, 1000.0), self._toggle)
 
 
 class _Session:
@@ -197,8 +218,10 @@ class _Session:
         )
         self.receiver.start()
         self.sender.start()
+        self.ambient = None
         if cfg.ambient_depth > 0:
-            AmbientClient(self.cluster, server, cfg).start()
+            self.ambient = AmbientClient(self.cluster, server, cfg)
+            self.ambient.start()
 
     def warm_up(self, completions: int) -> float:
         """Run until the receiver has ``completions`` samples; returns
@@ -216,13 +239,21 @@ class _Session:
         the frame start time."""
         sim = self.cluster.sim
         start = sim.now + 2 * MICROSECONDS
+        obs = _obs.tracer_for(sim)
 
         def set_bit(bit: int) -> None:
             self.current_bit[0] = bit
+            if obs is not None:
+                obs.instant("covert.bit", category="covert",
+                            component="covert.tx", bit=bit)
 
         for index, bit in enumerate(frame):
             sim.schedule_at(start + index * period, set_bit, bit)
         end = start + len(frame) * period
+        if obs is not None:
+            obs.span("covert.frame", start, len(frame) * period,
+                     category="covert", component="covert.tx",
+                     bits=len(frame), period_ns=period)
         sim.run(until=end + tail_ns)
         self.sender.stop()
         self.receiver.stop()

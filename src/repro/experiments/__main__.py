@@ -58,7 +58,10 @@ def _report(outcome: TaskOutcome, out: str, retries: int,
               f"-> {error_path}]\n", file=sys.stderr)
         return
     print(outcome.table)
-    print(f"[{outcome.name}: {outcome.elapsed:.1f}s -> {outcome.path}]\n")
+    print(f"[{outcome.name}: {outcome.elapsed:.1f}s -> {outcome.path}]")
+    for extra in outcome.extras:
+        print(f"[{outcome.name}: wrote {extra}]")
+    print()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -87,6 +90,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes; results are "
                              "byte-identical to a serial run (default: 1)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record a structured event trace and write "
+                             "<name>.trace.jsonl plus a Chrome-loadable "
+                             "<name>.trace.json next to the results")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect the repro.obs metrics registry and "
+                             "write <name>.metrics.json")
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap each experiment in cProfile and write "
+                             "<name>.prof.txt (wall-clock profiling; "
+                             "results are unaffected)")
     args = parser.parse_args(argv)
     if args.retries < 0:
         parser.error("--retries must be non-negative")
@@ -108,7 +122,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs == 1 or len(names) == 1:
         for name in names:
             outcome = run_task(name, args.seed, args.smoke, args.full,
-                               args.retries, args.out, registry=REGISTRY)
+                               args.retries, args.out, registry=REGISTRY,
+                               trace=args.trace, metrics=args.metrics,
+                               profile=args.profile)
             _report(outcome, args.out, args.retries, failures)
     else:
         # one pristine interpreter per experiment: no counter or cache
@@ -122,7 +138,8 @@ def main(argv: list[str] | None = None) -> int:
         ) as pool:
             futures = [
                 pool.submit(run_task, name, args.seed, args.smoke,
-                            args.full, args.retries, args.out)
+                            args.full, args.retries, args.out, None,
+                            args.trace, args.metrics, args.profile)
                 for name in names
             ]
             # collect in submission order — stdout matches serial runs

@@ -18,12 +18,16 @@ contract.
 
 from __future__ import annotations
 
+import cProfile
 import dataclasses
 import inspect
+import io
+import pstats
 import sys
 import traceback
 from typing import Callable, Optional
 
+from repro import obs
 from repro.experiments import faults, fig4, fig5, fig12, fig13, mitigation
 from repro.experiments import pythia_cmp, stealth, table1, table5, uli_linearity
 from repro.experiments.fig6_7_8 import run_fig6, run_fig7, run_fig8
@@ -94,10 +98,29 @@ class TaskOutcome:
     path: Optional[str] = None       # where the table was saved
     error: str = ""                  # captured traceback on failure
     elapsed: float = 0.0
+    #: Extra artifacts written next to the table (traces, metrics,
+    #: profiles), as printable path strings.
+    extras: list[str] = dataclasses.field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return self.table is not None
+
+
+def _write_profile(profiler: cProfile.Profile, out: str,
+                   name: str) -> str:
+    """Render a cProfile run to ``<out>/<name>.prof.txt`` (cumulative
+    top-40) and return the path."""
+    import pathlib
+
+    out_dir = pathlib.Path(out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(40)
+    path = out_dir / f"{name}.prof.txt"
+    path.write_text(buffer.getvalue())
+    return str(path)
 
 
 def run_task(
@@ -108,6 +131,9 @@ def run_task(
     retries: int,
     out: str,
     registry: Optional[dict[str, Callable]] = None,
+    trace: bool = False,
+    metrics: bool = False,
+    profile: bool = False,
 ) -> TaskOutcome:
     """Run one registered experiment end to end: invoke (with retries),
     render, save.  Printing is left to the caller so that parallel runs
@@ -117,21 +143,46 @@ def run_task(
     passes its own (patchable) view through for the serial path, while
     pool workers fall back to the default — a custom registry of local
     functions would not survive pickling anyway.
+
+    ``trace``/``metrics`` install a fresh :mod:`repro.obs` session
+    around each attempt and export ``<name>.trace.jsonl`` /
+    ``<name>.trace.json`` / ``<name>.metrics.json`` next to the table;
+    ``profile`` wraps the run in cProfile and writes
+    ``<name>.prof.txt``.
     """
     runner = (REGISTRY if registry is None else registry)[name]
     kwargs = dict(FULL_SCALE.get(name, {})) if full else {}
     started = wallclock()
     result = None
     error_text = ""
+    extras: list[str] = []
     for attempt in range(retries + 1):
+        # a fresh obs session per attempt: a crashed attempt's partial
+        # trace must not leak into the retry's export
+        session = obs.install(trace=trace, metrics=metrics) \
+            if (trace or metrics) else None
+        profiler = cProfile.Profile() if profile else None
         try:
+            if profiler is not None:
+                profiler.enable()
             result = _invoke(runner, seed, smoke, kwargs)
+            if profiler is not None:
+                profiler.disable()
+            if session is not None:
+                extras = [str(p) for p in session.export(out, name)]
+            if profiler is not None:
+                extras.append(_write_profile(profiler, out, name))
             break
         except Exception:  # ragnar-lint: disable=RAG004 — runner isolation: one crashing experiment must not abort the batch; the traceback is captured, written to the output dir and reported in the exit summary
+            if profiler is not None:
+                profiler.disable()
             error_text = traceback.format_exc()
             if attempt < retries:
                 print(f"[{name}: attempt {attempt + 1} crashed; retrying]",
                       file=sys.stderr)
+        finally:
+            if session is not None:
+                obs.uninstall()
     if result is None:
         return TaskOutcome(
             name=name, error=error_text, elapsed=wallclock() - started
@@ -140,5 +191,5 @@ def run_task(
     path = result.save(out)
     return TaskOutcome(
         name=name, table=table, path=str(path),
-        elapsed=wallclock() - started,
+        elapsed=wallclock() - started, extras=extras,
     )

@@ -70,17 +70,34 @@ class PauseStormInjector:
         self.rnics = [host.rnic for host in hosts]
         self.storm = storm
         self.fired = 0
+        # pending burst handle, cancelled by stop(); a dropped handle
+        # would keep the storm alive (and double it after a restart)
+        self._handle = None
+        self._running = False
 
     def start(self) -> None:
-        self.sim.schedule_at(self.storm.start_ns, self._pause)
+        if self._running:
+            raise RuntimeError("pause storm already running")
+        self._running = True
+        self._handle = self.sim.schedule_at(self.storm.start_ns, self._pause)
+
+    def stop(self) -> None:
+        """Cancel the pending burst; the storm can be restarted."""
+        self._running = False
+        if self._handle is not None:
+            self.sim.cancel(self._handle)
+            self._handle = None
 
     def _pause(self) -> None:
+        self._handle = None
         for rnic in self.rnics:
             rnic.wire_tx.stall_until(self.sim.now + self.storm.pause_ns)
             rnic.counters.pause_events += 1
         self.fired += 1
         if self.storm.count == 0 or self.fired < self.storm.count:
-            self.sim.schedule(self.storm.period_ns, self._pause)
+            self._handle = self.sim.schedule(self.storm.period_ns, self._pause)
+        else:
+            self._running = False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -140,12 +157,34 @@ class RnrPressureClient:
         self.server_qp = None
         self.completed = 0
         self.reconnects = 0
+        # pending-event handles, cancelled by stop(): the replenish
+        # chain and any scheduled reconnect must not outlive the client
+        self._replenish_handle = None
+        self._reconnect_handle = None
+        self._running = False
 
     def start(self) -> None:
+        if self._running:
+            raise RuntimeError("pressure client already running")
+        self._running = True
         self._connect()
-        self.sim.schedule(self.config.replenish_ns, self._replenish)
+        self._replenish_handle = self.sim.schedule(
+            self.config.replenish_ns, self._replenish)
+
+    def stop(self) -> None:
+        """Quiesce: cancel the replenish chain and any pending
+        reconnect.  In-flight SENDs drain on their own; no new work is
+        issued afterwards."""
+        self._running = False
+        if self._replenish_handle is not None:
+            self.sim.cancel(self._replenish_handle)
+            self._replenish_handle = None
+        if self._reconnect_handle is not None:
+            self.sim.cancel(self._reconnect_handle)
+            self._reconnect_handle = None
 
     def _connect(self) -> None:
+        self._reconnect_handle = None
         # Build the QP pair directly (not Cluster.connect): reconnects
         # recur for the whole run, so the one send MR is reused rather
         # than registering a fresh buffer per connection.
@@ -184,12 +223,14 @@ class RnrPressureClient:
             # the pipeline flushes as WR_FLUSH_ERR.  Do what a real
             # messaging workload does — reconnect with a fresh QP pair
             # after a grace period, keeping the pressure alive.
-            if wc.status is not WCStatus.WR_FLUSH_ERR:
+            if wc.status is not WCStatus.WR_FLUSH_ERR and self._running:
                 self.reconnects += 1
-                self.sim.schedule(self.config.replenish_ns, self._connect)
+                self._reconnect_handle = self.sim.schedule(
+                    self.config.replenish_ns, self._connect)
             return
         self.completed += 1
-        self._post_send()
+        if self._running:
+            self._post_send()
 
     def _replenish(self) -> None:
         for index in range(self.config.recv_slots):
@@ -197,7 +238,24 @@ class RnrPressureClient:
                 local_addr=self.recv_mr.addr + index * self.config.msg_bytes,
                 length=self.config.msg_bytes,
             ))
-        self.sim.schedule(self.config.replenish_ns, self._replenish)
+        self._replenish_handle = self.sim.schedule(
+            self.config.replenish_ns, self._replenish)
+
+
+@dataclasses.dataclass
+class ArmedFaults:
+    """The live pieces one ``FaultPlan.install`` armed — kept so a
+    caller can quiesce injection mid-run (both carry cancel-on-stop
+    lifecycles; see RAG009)."""
+
+    pause_storm: Optional[PauseStormInjector] = None
+    rnr_pressure: Optional[RnrPressureClient] = None
+
+    def stop(self) -> None:
+        if self.pause_storm is not None:
+            self.pause_storm.stop()
+        if self.rnr_pressure is not None:
+            self.rnr_pressure.stop()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -232,20 +290,27 @@ class FaultPlan:
         cluster: Cluster,
         server: Optional[Host] = None,
         endpoints: Iterable[Host] = (),
-    ) -> None:
-        """Arm the plan on ``cluster``; returns nothing — the armed
-        pieces live on the cluster's network and simulator."""
+    ) -> ArmedFaults:
+        """Arm the plan on ``cluster``.  Link fault models live on the
+        cluster's network; the returned :class:`ArmedFaults` exposes the
+        scheduled injectors so callers can ``stop()`` them."""
+        armed = ArmedFaults()
         if self.endpoint_fault is not None:
             for host in endpoints:
                 cluster.network.set_fault(host.rnic, self.endpoint_fault())
         if server is None:
-            return
+            return armed
         if self.server_fault is not None:
             cluster.network.set_fault(server.rnic, self.server_fault())
         if self.pause_storm is not None:
-            PauseStormInjector(cluster, [server], self.pause_storm).start()
+            armed.pause_storm = PauseStormInjector(
+                cluster, [server], self.pause_storm)
+            armed.pause_storm.start()
         if self.rnr_pressure is not None:
-            RnrPressureClient(cluster, server, self.rnr_pressure).start()
+            armed.rnr_pressure = RnrPressureClient(
+                cluster, server, self.rnr_pressure)
+            armed.rnr_pressure.start()
+        return armed
 
 
 def clean_plan() -> FaultPlan:

@@ -12,6 +12,7 @@ RAG005    no mutable default arguments
 RAG006    no kernel-state mutation from outside ``repro/sim``
 RAG007    no raw 1e6/1e9 unit literals — use ``repro.sim.units``
 RAG008    no I/O calls inside sim/model layers
+RAG009    self-rescheduling callbacks must keep a cancellable handle
 ========  ==========================================================
 """
 
@@ -434,3 +435,73 @@ class KernelIORule(Rule):
                     f"{node.func.id}() call in a sim/model layer; kernel "
                     f"callbacks must stay I/O-free (surface data through "
                     f"telemetry or return values)")
+
+
+# ----------------------------------------------------------------------
+# RAG009 — cancel-on-stop for self-rescheduling callbacks
+# ----------------------------------------------------------------------
+
+SCHEDULE_METHODS = frozenset({"schedule", "schedule_at"})
+
+
+@_register
+class DroppedScheduleHandleRule(Rule):
+    """A class whose methods reschedule themselves (``schedule(...,
+    self._tick)``) and that exposes ``stop()`` must keep the schedule
+    handle and ``cancel()`` it on stop.  A stop() that merely clears a
+    flag leaves the pending event alive: a later start() launches a
+    *second* chain, silently doubling the callback rate — the
+    BandwidthMonitor/CounterSampler bug class."""
+
+    rule_id = "RAG009"
+    title = "self-rescheduling callbacks must keep a cancellable handle"
+    scope = ("repro/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            methods = {
+                item.name: item for item in cls.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            stop = methods.get("stop")
+            if stop is None:
+                continue  # no lifecycle contract to enforce
+            stop_cancels = any(
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "cancel"
+                for node in ast.walk(stop))
+            for method in methods.values():
+                discarded = {
+                    id(stmt.value) for stmt in ast.walk(method)
+                    if isinstance(stmt, ast.Expr)
+                }
+                for node in ast.walk(method):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    func = node.func
+                    if not (isinstance(func, ast.Attribute)
+                            and func.attr in SCHEDULE_METHODS):
+                        continue
+                    reschedules = any(
+                        isinstance(arg, ast.Attribute)
+                        and isinstance(arg.value, ast.Name)
+                        and arg.value.id == "self"
+                        and arg.attr in methods
+                        for arg in node.args)
+                    if not reschedules:
+                        continue
+                    if id(node) in discarded:
+                        yield self.finding(
+                            ctx, node,
+                            f"{cls.name}.{method.name} drops the handle of a "
+                            f"self-rescheduling {func.attr}() call; keep it "
+                            f"so stop() can cancel the pending event")
+                    elif not stop_cancels:
+                        yield self.finding(
+                            ctx, node,
+                            f"{cls.name}.stop() never cancel()s the handle "
+                            f"of the {func.attr}() chain in {method.name}; "
+                            f"a stop->start cycle doubles the callback rate")

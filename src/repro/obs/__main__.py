@@ -1,0 +1,49 @@
+"""CLI: schema-validate observability artifacts.
+
+::
+
+    python -m repro.obs validate out/table5.trace.jsonl \
+        out/table5.trace.json out/table5.metrics.json
+
+Exits 1 and prints each problem when any file fails its schema; this
+is the check behind the ``tools/check.sh`` obs smoke stage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .exporters import validate_path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    validate = sub.add_parser(
+        "validate", help="schema-check trace/metrics artifacts"
+    )
+    validate.add_argument("paths", nargs="+", type=pathlib.Path)
+    args = parser.parse_args(argv)
+
+    status = 0
+    for path in args.paths:
+        if not path.exists():
+            print(f"repro.obs: {path}: no such file")
+            status = 1
+            continue
+        errors = validate_path(path)
+        if errors:
+            status = 1
+            for error in errors:
+                print(f"repro.obs: {error}")
+        else:
+            print(f"repro.obs: {path}: ok")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,187 @@
+"""The metrics registry: counters, gauges, and histograms keyed by
+component, with a deterministic snapshot order.
+
+Where the tracer (:mod:`repro.obs.tracer`) answers "what happened,
+when", the registry answers "how much, overall": bytes moved, WQEs
+retired, per-station service-time distributions.  It subsumes the
+ad-hoc ``rnic.counters.snapshot()`` reads scattered through the
+experiments — a component can either push values into registry
+instruments directly or register a *collector* (any zero-argument
+callable returning a flat ``{name: number}`` dict, e.g. a bound
+``NICCounters.snapshot``) that is drained lazily at snapshot time.
+
+Snapshots are sorted by ``(component, name)`` so two runs of the same
+seeded experiment serialize byte-identically — the same determinism
+contract the rest of the repo holds (see docs/DETERMINISM notes in
+ROADMAP.md).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Mapping
+
+from repro.sim.units import MICROSECONDS, MILLISECONDS
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+#: Default histogram bucket upper bounds (ns-oriented geometric ladder
+#: from 10 ns to 10 ms).
+DEFAULT_BUCKETS = (
+    10.0, 100.0, MICROSECONDS, 10 * MICROSECONDS, 100 * MICROSECONDS,
+    MILLISECONDS, 10 * MILLISECONDS,
+)
+
+
+class Histogram:
+    """A fixed-bucket histogram with sum/count/min/max.
+
+    Buckets are upper bounds; values above the last bound land in the
+    implicit overflow bucket.  Bounds are validated strictly increasing
+    at construction so the bisect stays correct.
+    """
+
+    __slots__ = ("buckets", "counts", "total", "count", "min", "max")
+
+    def __init__(self, buckets: tuple = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram buckets must be strictly increasing, got {buckets}"
+            )
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def snapshot(self) -> dict:
+        snap = {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+        }
+        if self.count:
+            snap["min"] = self.min
+            snap["max"] = self.max
+            snap["mean"] = self.total / self.count
+        return snap
+
+
+class MetricsRegistry:
+    """Get-or-create instruments keyed by ``(component, name)`` plus
+    lazily drained collectors; see the module docstring."""
+
+    def __init__(self) -> None:
+        self._instruments: dict = {}
+        self._collectors: dict = {}
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+    def _get(self, kind, component: str, name: str, factory):
+        key = (component, name)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {component}.{name} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, component: str, name: str) -> Counter:
+        return self._get(Counter, component, name, Counter)
+
+    def gauge(self, component: str, name: str) -> Gauge:
+        return self._get(Gauge, component, name, Gauge)
+
+    def histogram(self, component: str, name: str,
+                  buckets: tuple = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(Histogram, component, name,
+                         lambda: Histogram(buckets))
+
+    # ------------------------------------------------------------------
+    # Collectors
+    # ------------------------------------------------------------------
+    def register_collector(
+        self, component: str, collect: Callable[[], Mapping[str, float]]
+    ) -> None:
+        """Attach a pull-style source drained at snapshot time; its
+        values appear as gauges under ``component``.  Re-registering a
+        component replaces the previous collector."""
+        self._collectors[component] = collect
+
+    def unregister_collector(self, component: str) -> None:
+        self._collectors.pop(component, None)
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """All instruments and collector values, sorted by
+        ``(component, name)`` for byte-stable serialization."""
+        rows: dict = {}
+        for (component, name), instrument in self._instruments.items():
+            rows[(component, name)] = instrument.snapshot()
+        for component, collect in self._collectors.items():
+            for name, value in collect().items():
+                rows.setdefault(
+                    (component, name),
+                    {"type": "gauge", "value": float(value)},
+                )
+        out: dict = {}
+        for component, name in sorted(rows):
+            out.setdefault(component, {})[name] = rows[(component, name)]
+        return out
+
+    def __len__(self) -> int:
+        return len(self._instruments)

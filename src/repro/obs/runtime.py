@@ -1,0 +1,207 @@
+"""The process-wide observability session.
+
+Instrumentation sites across the repo (kernel dispatch, RNIC pipeline
+stations, the verbs engine, covert codecs, telemetry samplers) all
+funnel through this module: they ask for a tracer / the metrics
+registry, and get ``None`` unless a session is installed.  The
+disabled path is therefore a single module-global ``is None`` check —
+cheap enough to sit on hot paths and keep the bench_gate overhead
+budget (<2 % on event dispatch) honest.
+
+A session is installed by the experiments CLI (``--trace`` /
+``--metrics``) or directly in tests::
+
+    session = obs.install(trace=True, metrics=True)
+    ...run the experiment...
+    paths = session.export(out_dir, "table5")
+    obs.uninstall()
+
+This module deliberately does not import :mod:`repro.sim` — the sim
+kernel imports *us* (to self-register new simulators), and the
+one-way dependency keeps the layering acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .exporters import write_chrome_trace, write_jsonl, write_metrics_json
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+#: The installed session, or None (the common, zero-overhead case).
+_SESSION: Optional["ObsSession"] = None
+
+
+class ObsSession:
+    """One enabled observability window: tracers per simulator plus a
+    shared metrics registry.  Created via :func:`install`."""
+
+    def __init__(self, trace: bool = False, metrics: bool = False,
+                 max_events: Optional[int] = None) -> None:
+        self.trace = trace
+        self.metrics_enabled = metrics
+        self.max_events = max_events
+        self.metrics = MetricsRegistry() if metrics else None
+        #: simulator -> Tracer; keeps strong refs so id() reuse cannot
+        #: alias two different simulators to one tracer.
+        self._sim_tracers: dict = {}
+        #: tracers not bound to a simulator clock (e.g. verbs engines)
+        self._extra_tracers: list = []
+
+    # ------------------------------------------------------------------
+    # Tracer plumbing
+    # ------------------------------------------------------------------
+    def attach_simulator(self, sim: Any) -> None:
+        """Hook a simulator's dispatch loop (idempotent per sim)."""
+        if not self.trace:
+            return
+        key = id(sim)
+        if key in self._sim_tracers:
+            return
+        pid = len(self._sim_tracers)
+        tracer = Tracer(clock=lambda: sim.now, component=f"sim{pid}",
+                        pid=pid, **self._cap())
+        tracer.install_on(sim)
+        self._sim_tracers[key] = (sim, tracer)
+
+    def tracer_for(self, sim: Any) -> Optional[Tracer]:
+        """The tracer bound to ``sim``, attaching on first sight."""
+        if not self.trace:
+            return None
+        entry = self._sim_tracers.get(id(sim))
+        if entry is None:
+            self.attach_simulator(sim)
+            entry = self._sim_tracers.get(id(sim))
+            if entry is None:
+                return None
+        return entry[1]
+
+    def engine_tracer(self, engine: Any, component: str) -> Optional[Tracer]:
+        """A tracer clocked by a verbs engine's own ``now``."""
+        if not self.trace:
+            return None
+        tracer = Tracer(clock=lambda: engine.now, component=component,
+                        pid=len(self._sim_tracers), **self._cap())
+        self._extra_tracers.append(tracer)
+        return tracer
+
+    def _cap(self) -> dict:
+        return {} if self.max_events is None else \
+            {"max_events": self.max_events}
+
+    def all_tracers(self) -> list:
+        return [tracer for _, tracer in self._sim_tracers.values()] + \
+            list(self._extra_tracers)
+
+    # ------------------------------------------------------------------
+    # Metrics plumbing
+    # ------------------------------------------------------------------
+    def register_rnic(self, rnic: Any) -> None:
+        """Expose an RNIC's hardware counters as a metrics collector."""
+        if self.metrics is None:
+            return
+        component = f"rnic.{rnic.name}"
+        self.metrics.register_collector(component, rnic.counters.snapshot)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def events(self) -> list:
+        """All trace events across tracers, sorted by (ts, component)
+        for a deterministic merged timeline."""
+        merged = []
+        for tracer in self.all_tracers():
+            merged.extend(tracer.events)
+        merged.sort(key=lambda e: (e.ts, e.component, e.name))
+        return merged
+
+    def export(self, out_dir, name: str) -> list:
+        """Write every enabled artifact under ``out_dir`` and return
+        the written paths: ``<name>.trace.jsonl`` + ``<name>.trace.json``
+        when tracing, ``<name>.metrics.json`` when metering.  A traced
+        run that recorded nothing (e.g. a pure fluid-flow experiment
+        that never constructs a simulator) writes no trace files — an
+        empty timeline is indistinguishable from a broken one, so it is
+        omitted rather than emitted invalid."""
+        import pathlib
+
+        out_dir = pathlib.Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        paths = []
+        if self.trace:
+            events = self.events()
+            if events:
+                paths.append(write_jsonl(
+                    events, out_dir / f"{name}.trace.jsonl"))
+                paths.append(write_chrome_trace(
+                    events, out_dir / f"{name}.trace.json"))
+        if self.metrics is not None:
+            paths.append(write_metrics_json(
+                self.metrics.snapshot(), out_dir / f"{name}.metrics.json"))
+        return paths
+
+    def stats(self) -> dict:
+        dropped = sum(t.dropped for t in self.all_tracers())
+        return {
+            "tracers": len(self.all_tracers()),
+            "events": sum(len(t) for t in self.all_tracers()),
+            "dropped": dropped,
+        }
+
+
+# ----------------------------------------------------------------------
+# Module-level session management + hot-path accessors
+# ----------------------------------------------------------------------
+def install(trace: bool = False, metrics: bool = False,
+            max_events: Optional[int] = None) -> ObsSession:
+    """Install (and return) the process-wide session.  Replaces any
+    previous session; simulators created afterwards self-attach."""
+    global _SESSION
+    _SESSION = ObsSession(trace=trace, metrics=metrics,
+                          max_events=max_events)
+    return _SESSION
+
+
+def uninstall() -> None:
+    """Drop the session; instrumentation reverts to zero-overhead."""
+    global _SESSION
+    _SESSION = None
+
+
+def session() -> Optional[ObsSession]:
+    return _SESSION
+
+
+def attach_simulator(sim: Any) -> None:
+    """Called by the sim kernel for every new simulator; no-op (one
+    ``is None`` check) unless a tracing session is installed."""
+    if _SESSION is not None:
+        _SESSION.attach_simulator(sim)
+
+
+def tracer_for(sim: Any) -> Optional[Tracer]:
+    """The tracer for ``sim``, or None when observability is off.
+    Instrumentation sites cache the result and guard emissions with
+    ``if obs is not None``."""
+    if _SESSION is None:
+        return None
+    return _SESSION.tracer_for(sim)
+
+
+def engine_tracer(engine: Any, component: str) -> Optional[Tracer]:
+    if _SESSION is None:
+        return None
+    return _SESSION.engine_tracer(engine, component)
+
+
+def register_rnic(rnic: Any) -> None:
+    if _SESSION is not None:
+        _SESSION.register_rnic(rnic)
+
+
+def registry() -> Optional[MetricsRegistry]:
+    """The session's metrics registry, or None when metering is off."""
+    if _SESSION is None:
+        return None
+    return _SESSION.metrics

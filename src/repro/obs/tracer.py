@@ -1,0 +1,187 @@
+"""The span/event tracer: structured timelines of one simulation.
+
+A :class:`Tracer` collects :class:`TraceEvent` records against a
+*simulated* clock (never the wall clock — see RAG001): complete spans
+("the TxPU served WQE 17 from t=120ns for 35ns"), instants ("bit 3
+flipped to 1"), and counter series ("rx_bps at each sampler tick").
+The event vocabulary deliberately mirrors the Chrome trace-event
+format so one exporter pass (:mod:`repro.obs.exporters`) yields a
+``chrome://tracing``/Perfetto-loadable file.
+
+Tracers are usually created by :mod:`repro.obs.runtime` — one per
+:class:`~repro.sim.kernel.Simulator` — and hooked into the kernel's
+dispatch loop through the engine-agnostic
+``Simulator.add_dispatch_hook`` callback, so both the C and the
+pure-Python engine cores feed the same records.
+
+Recording is bounded: past ``max_events`` the tracer stops appending
+and counts drops instead, so tracing a long experiment degrades to a
+truncated (still well-formed) timeline rather than unbounded memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Mapping, Optional
+
+#: Chrome trace-event phases used by this tracer.
+PHASE_SPAN = "X"      # complete event: ts + dur
+PHASE_INSTANT = "i"   # point-in-time marker
+PHASE_COUNTER = "C"   # named value series
+
+#: Default per-tracer event cap; see the module docstring.
+DEFAULT_MAX_EVENTS = 250_000
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record (times in simulated nanoseconds)."""
+
+    name: str
+    phase: str
+    ts: float
+    component: str
+    dur: float = 0.0
+    category: str = ""
+    args: Optional[Mapping[str, Any]] = None
+
+    def to_dict(self) -> dict:
+        """Flat dict form used by the JSONL exporter."""
+        record = {
+            "name": self.name,
+            "ph": self.phase,
+            "ts": self.ts,
+            "component": self.component,
+        }
+        if self.phase == PHASE_SPAN:
+            record["dur"] = self.dur
+        if self.category:
+            record["cat"] = self.category
+        if self.args:
+            record["args"] = dict(self.args)
+        return record
+
+
+class Tracer:
+    """Collects trace events against one clock (one simulator/engine).
+
+    ``clock`` is any zero-argument callable returning the current
+    simulated time in nanoseconds; events may also carry explicit
+    timestamps (spans almost always do, since the caller knows the
+    admit/finish pair).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        component: str = "sim",
+        pid: int = 0,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> None:
+        if max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
+        self.clock = clock
+        self.component = component
+        self.pid = pid
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+        self._dispatch_hook: Optional[Callable] = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _record(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def span(
+        self,
+        name: str,
+        start: float,
+        dur: float,
+        category: str = "",
+        component: Optional[str] = None,
+        **args: Any,
+    ) -> None:
+        """A complete span: ``name`` ran from ``start`` for ``dur`` ns."""
+        self._record(TraceEvent(
+            name=name, phase=PHASE_SPAN, ts=start, dur=dur,
+            component=component if component is not None else self.component,
+            category=category, args=args or None,
+        ))
+
+    def instant(
+        self,
+        name: str,
+        category: str = "",
+        component: Optional[str] = None,
+        ts: Optional[float] = None,
+        **args: Any,
+    ) -> None:
+        """A point event at ``ts`` (default: the clock's now)."""
+        self._record(TraceEvent(
+            name=name, phase=PHASE_INSTANT,
+            ts=self.clock() if ts is None else ts,
+            component=component if component is not None else self.component,
+            category=category, args=args or None,
+        ))
+
+    def counter(
+        self,
+        name: str,
+        values: Mapping[str, float],
+        category: str = "",
+        component: Optional[str] = None,
+        ts: Optional[float] = None,
+    ) -> None:
+        """A counter sample: one or more named series at one time."""
+        self._record(TraceEvent(
+            name=name, phase=PHASE_COUNTER,
+            ts=self.clock() if ts is None else ts,
+            component=component if component is not None else self.component,
+            category=category, args=dict(values),
+        ))
+
+    # ------------------------------------------------------------------
+    # Kernel dispatch integration
+    # ------------------------------------------------------------------
+    def make_dispatch_hook(self) -> Callable[[float, int, Any], None]:
+        """The ``(time, priority, callback)`` hook recording every fired
+        kernel event — the same engine-agnostic callback surface the
+        determinism digest uses, so the C and Python cores feed
+        identical records."""
+        record = self._record
+        component = self.component
+
+        def hook(time: float, priority: int, callback: Any) -> None:
+            label = getattr(callback, "__qualname__",
+                            type(callback).__name__)
+            record(TraceEvent(
+                name=label, phase=PHASE_INSTANT, ts=time,
+                component=component, category="dispatch",
+                args={"priority": priority} if priority else None,
+            ))
+
+        self._dispatch_hook = hook
+        return hook
+
+    def install_on(self, sim: Any) -> None:
+        """Attach the dispatch hook to a simulator (idempotent per
+        tracer: re-installing replaces the previous hook)."""
+        if self._dispatch_hook is not None:
+            sim.remove_dispatch_hook(self._dispatch_hook)
+        sim.add_dispatch_hook(self.make_dispatch_hook())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def stats(self) -> dict:
+        """Recording health: kept/dropped event counts."""
+        return {"events": len(self.events), "dropped": self.dropped,
+                "max_events": self.max_events}

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.fabric.network import Link, Network
+from repro.obs import runtime as _obs
 from repro.rnic.bandwidth import BandwidthAllocator, FluidFlow
 from repro.rnic.counters import NICCounters
 from repro.rnic.spec import RNICSpec, cx5
@@ -74,6 +75,13 @@ class RNIC(Engine):
         self.allocator = BandwidthAllocator(self.spec)
         self._fluid_flows: dict[int, FluidFlow] = {}
         self._fluid_alloc: dict[int, float] = {}
+        # observability: None unless an obs session with tracing was
+        # installed before this RNIC was built (the experiments CLI
+        # installs it before the experiment constructs its cluster);
+        # every stage emission below is guarded by one `is not None`
+        self._obs = _obs.tracer_for(sim)
+        self._wqe_seq = 0
+        _obs.register_rnic(self)
 
     # ------------------------------------------------------------------
     # Engine interface
@@ -139,6 +147,18 @@ class RNIC(Engine):
         )
         fetch_occupancy = spec.pcie.dma_occupancy_ns(64 + request_payload)
 
+        obs = self._obs
+        robs = responder._obs
+        comp = f"rnic.{self.name}"
+        rcomp = f"rnic.{responder.name}"
+        wqe = 0
+        if obs is not None:
+            self._wqe_seq += 1
+            wqe = self._wqe_seq
+            obs.instant(f"{self.name}.post", category="rnic",
+                        component=comp, ts=sim.now, wqe=wqe,
+                        opcode=wr.opcode.name, length=wr.length)
+
         # resolve the remote MR geometry once; protection is enforced by
         # execute_data_movement at the data stage
         mr_key = wr.rkey
@@ -184,6 +204,9 @@ class RNIC(Engine):
             # WQE+payload through MMIO (a posted write), so there is no
             # DMA read round trip at all.
             finish = self.pcie.admit(sim.now, fetch_occupancy)
+            if obs is not None:
+                obs.span("pcie.fetch", sim.now, finish - sim.now,
+                         category="rnic", component=comp, wqe=wqe)
             if wr.inline:
                 sim.schedule_at(finish, stage_txpu)
                 return
@@ -193,10 +216,17 @@ class RNIC(Engine):
 
         def stage_txpu() -> None:
             finish = self.txpu.admit(sim.now, spec.txpu_ns)
+            if obs is not None:
+                obs.span("txpu", sim.now, finish - sim.now,
+                         category="rnic", component=comp, wqe=wqe)
             sim.schedule_at(finish, stage_wire_out)
 
         def stage_wire_out() -> None:
             finish = self.wire_tx.admit(sim.now, req_wire_ns)
+            if obs is not None:
+                obs.span("wire.request", sim.now, finish - sim.now,
+                         category="rnic", component=comp, wqe=wqe,
+                         nbytes=req_nbytes)
             self.counters.record_tx(req_nbytes, tc=tc, opcode=wr.opcode)
             if not qp.qp_type.acks_requests and not wr.opcode.response_carries_payload:
                 # unreliable transports are fire-and-forget: the local
@@ -218,6 +248,9 @@ class RNIC(Engine):
         def stage_responder_rx() -> None:
             responder.counters.record_rx(req_nbytes, tc=tc)
             finish = responder.rxpu.admit(sim.now, rspec.rxpu_ns)
+            if robs is not None:
+                robs.span("rxpu", sim.now, finish - sim.now,
+                          category="rnic", component=rcomp, wqe=wqe)
             sim.schedule_at(finish, stage_translate)
 
         def stage_translate() -> None:
@@ -225,6 +258,9 @@ class RNIC(Engine):
                 finish, _ = responder.translation.admit(
                     sim.now, mr_key, offset, wr.length
                 )
+                if robs is not None:
+                    robs.span("translate", sim.now, finish - sim.now,
+                              category="rnic", component=rcomp, wqe=wqe)
             else:
                 finish = sim.now
             sim.schedule_at(finish, stage_data)
@@ -265,6 +301,10 @@ class RNIC(Engine):
                 dma_bytes = wr.length
             pcie = rspec.pcie
             finish = responder.pcie.admit(sim.now, pcie.dma_occupancy_ns(dma_bytes))
+            if robs is not None:
+                robs.span("pcie.data", sim.now, finish - sim.now,
+                          category="rnic", component=rcomp, wqe=wqe,
+                          nbytes=dma_bytes)
             # host-read DMAs (read/atomic responses) wait the TLP
             # round trip — stretched by congestion; posted writes
             # complete at the engine
@@ -288,10 +328,17 @@ class RNIC(Engine):
 
         def stage_response(status: WCStatus) -> None:
             finish = responder.txpu.admit(sim.now, rspec.txpu_ns)
+            if robs is not None:
+                robs.span("txpu.response", sim.now, finish - sim.now,
+                          category="rnic", component=rcomp, wqe=wqe)
             sim.schedule_at(finish, stage_wire_back, status)
 
         def stage_wire_back(status: WCStatus) -> None:
             finish = responder.wire_tx.admit(sim.now, resp_wire_ns)
+            if robs is not None:
+                robs.span("wire.response", sim.now, finish - sim.now,
+                          category="rnic", component=rcomp, wqe=wqe,
+                          nbytes=resp_nbytes)
             responder.counters.record_tx(resp_nbytes, tc=tc)
             if self._frame_lost(responder, self):
                 # ACK/response frame lost: requester times out and
@@ -310,11 +357,18 @@ class RNIC(Engine):
             self.counters.record_rx(resp_nbytes, tc=tc)
             finish = self.rxpu.admit(sim.now, spec.rxpu_ns)
             cqe = self.pcie.admit(finish, spec.cqe_write_ns)
+            if obs is not None:
+                obs.span("rxpu.cqe", sim.now, cqe - sim.now,
+                         category="rnic", component=comp, wqe=wqe)
             sim.schedule_at(cqe, stage_complete, status)
 
         def stage_complete(status: WCStatus) -> None:
             if wr.flushed:
                 return
+            if obs is not None:
+                obs.span("wqe", wr.post_time, sim.now - wr.post_time,
+                         category="rnic", component=comp, wqe=wqe,
+                         status=status.name)
             qp.complete_send(wr, status, sim.now)
 
         sim.schedule(spec.doorbell_ns if _ring_doorbell else 0.0, stage_fetch)

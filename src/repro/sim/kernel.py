@@ -23,6 +23,7 @@ import os
 import struct
 from typing import Any, Optional
 
+from repro.obs import runtime as _obs
 from repro.sim.errors import SimulationError
 from repro.sim.event import PyEventCore
 from repro.sim.random import RandomStreams
@@ -43,8 +44,22 @@ def _select_core() -> tuple[type, str]:
 _CORE, KERNEL_ENGINE = _select_core()
 
 
+#: Slots added by :class:`_SimulatorMixin` on top of an engine core.
+_MIXIN_SLOTS = ("random", "_trace", "_dispatch_hooks", "_digest_hook")
+
+
 class _SimulatorMixin:
-    """Seeded randomness + determinism tracing over an engine core."""
+    """Seeded randomness + determinism tracing over an engine core.
+
+    The mixin multiplexes the core's single dispatch-hook slot: any
+    number of ``hook(time, priority, callback)`` observers can register
+    through :meth:`add_dispatch_hook`, and the core sees either ``None``
+    (zero hooks — the fast drain path stays available), the lone hook
+    directly (no wrapper on the digest-only or tracer-only case), or a
+    fan-out closure.  Both the determinism digest and the
+    :mod:`repro.obs` tracer ride this one engine-agnostic surface, so
+    the C and pure-Python cores observe identically.
+    """
 
     __slots__ = ()
 
@@ -52,8 +67,39 @@ class _SimulatorMixin:
         super().__init__()
         self.random = RandomStreams(seed)
         self._trace = None
+        self._digest_hook = None
+        self._dispatch_hooks: tuple = ()
         if trace:
             self.enable_tracing()
+        _obs.attach_simulator(self)
+
+    # ------------------------------------------------------------------
+    # Dispatch-hook multiplexing
+    # ------------------------------------------------------------------
+    def add_dispatch_hook(self, hook: Any) -> None:
+        """Register ``hook(time, priority, callback)`` to observe every
+        fired event.  Hooks fire in registration order."""
+        self._dispatch_hooks = self._dispatch_hooks + (hook,)
+        self._refresh_dispatch_hook()
+
+    def remove_dispatch_hook(self, hook: Any) -> None:
+        """Unregister a hook (no-op if it was never added)."""
+        self._dispatch_hooks = tuple(
+            h for h in self._dispatch_hooks if h is not hook)
+        self._refresh_dispatch_hook()
+
+    def _refresh_dispatch_hook(self) -> None:
+        hooks = self._dispatch_hooks
+        if not hooks:
+            self._set_trace_hook(None)
+        elif len(hooks) == 1:
+            self._set_trace_hook(hooks[0])
+        else:
+            def fanout(time: float, priority: int, callback: Any,
+                       _hooks=hooks) -> None:
+                for observer in _hooks:
+                    observer(time, priority, callback)
+            self._set_trace_hook(fanout)
 
     # ------------------------------------------------------------------
     # Determinism tracing (see repro.lint.determinism)
@@ -65,9 +111,9 @@ class _SimulatorMixin:
         pinpoints the first nondeterministic event ordering."""
         if self._trace is None:
             self._trace = hashlib.blake2b(digest_size=16)
-            self._install_trace_hook()
+            self._install_digest_hook()
 
-    def _install_trace_hook(self) -> None:
+    def _install_digest_hook(self) -> None:
         update = self._trace.update
         pack = struct.pack
 
@@ -77,7 +123,8 @@ class _SimulatorMixin:
             update(pack("<dq", time, priority))
             update(label.encode("utf-8", "replace"))
 
-        self._set_trace_hook(hook)
+        self._digest_hook = hook
+        self.add_dispatch_hook(hook)
 
     @property
     def trace_digest(self) -> Optional[str]:
@@ -89,11 +136,13 @@ class _SimulatorMixin:
 
     def reset(self) -> None:
         """Clear the queue and rewind the clock (random streams persist;
-        an enabled trace digest restarts empty)."""
+        an enabled trace digest restarts empty; other dispatch hooks
+        stay registered)."""
         super().reset()
         if self._trace is not None:
+            self.remove_dispatch_hook(self._digest_hook)
             self._trace = hashlib.blake2b(digest_size=16)
-            self._install_trace_hook()
+            self._install_digest_hook()
 
 
 class Simulator(_SimulatorMixin, _CORE):
@@ -116,7 +165,7 @@ class Simulator(_SimulatorMixin, _CORE):
     engine core — see the module docstring.
     """
 
-    __slots__ = ("random", "_trace")
+    __slots__ = _MIXIN_SLOTS
 
 
 def make_simulator_class(core: type) -> type:
@@ -126,4 +175,4 @@ def make_simulator_class(core: type) -> type:
     even when the C extension is importable.
     """
     return type("Simulator_" + core.__name__, (_SimulatorMixin, core),
-                {"__slots__": ("random", "_trace")})
+                {"__slots__": _MIXIN_SLOTS})

@@ -7,6 +7,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs import runtime as _obs
 from repro.rnic.bandwidth import FluidFlow
 from repro.rnic.rnic import RNIC
 from repro.rnic.station import ServiceStation
@@ -45,22 +46,34 @@ class BandwidthMonitor:
         self.interval_ns = interval_ns
         self.samples: list[Sample] = []
         self._running = False
+        # the pending _tick's cancellation handle; stop() must cancel it
+        # or a stop->start cycle leaves TWO tick chains alive, doubling
+        # the sample rate
+        self._handle = None
+        self._obs = _obs.tracer_for(sim)
 
     def start(self) -> None:
         if self._running:
             raise RuntimeError("monitor already running")
         self._running = True
-        self.sim.schedule(self.interval_ns, self._tick)
+        self._handle = self.sim.schedule(self.interval_ns, self._tick)
 
     def stop(self) -> None:
         self._running = False
+        if self._handle is not None:
+            self.sim.cancel(self._handle)
+            self._handle = None
 
     def _tick(self) -> None:
         if not self._running:
             return
         bw = self.rnic.fluid_bandwidth(self.flow)
         self.samples.append(Sample(self.sim.now, bw))
-        self.sim.schedule(self.interval_ns, self._tick)
+        if self._obs is not None:
+            self._obs.counter(f"{self.rnic.name}.flow_bandwidth",
+                              {"bps": bw}, category="telemetry",
+                              component="telemetry.bandwidth")
+        self._handle = self.sim.schedule(self.interval_ns, self._tick)
 
     @property
     def values(self) -> list[float]:
@@ -118,6 +131,10 @@ class CounterSampler:
     Equivalent to running ``ethtool -S`` in a loop and differencing —
     the reverse-engineering methodology of Section IV-A, and the
     Grain-I defense's data source.
+
+    Explicit ``keys`` must name byte or packet counters (suffix
+    ``bytes``/``packets``): the rate math differs (bits/s vs 1/s) and a
+    key it cannot classify would otherwise be silently misreported.
     """
 
     def __init__(
@@ -129,6 +146,13 @@ class CounterSampler:
     ) -> None:
         if interval_ns <= 0:
             raise ValueError(f"interval must be positive, got {interval_ns}")
+        if keys is not None:
+            bad = [k for k in keys if not k.endswith(("bytes", "packets"))]
+            if bad:
+                raise ValueError(
+                    f"cannot classify counter keys {bad}: keys must end "
+                    f"in 'bytes' or 'packets' to pick a rate unit"
+                )
         self.sim = sim
         self.rnic = rnic
         self.interval_ns = interval_ns
@@ -136,16 +160,23 @@ class CounterSampler:
         self.rates: list[dict] = []
         self._last: Optional[dict] = None
         self._running = False
+        # see BandwidthMonitor._handle: cancel-on-stop keeps restart
+        # from doubling the chain (and from racing two ticks on _last)
+        self._handle = None
+        self._obs = _obs.tracer_for(sim)
 
     def start(self) -> None:
         if self._running:
             raise RuntimeError("sampler already running")
         self._running = True
         self._last = self.rnic.counters.snapshot()
-        self.sim.schedule(self.interval_ns, self._tick)
+        self._handle = self.sim.schedule(self.interval_ns, self._tick)
 
     def stop(self) -> None:
         self._running = False
+        if self._handle is not None:
+            self.sim.cancel(self._handle)
+            self._handle = None
 
     def _tick(self) -> None:
         if not self._running:
@@ -163,8 +194,13 @@ class CounterSampler:
             else:
                 rates[key.replace("packets", "pps")] = delta / seconds
         self.rates.append(rates)
+        if self._obs is not None:
+            self._obs.counter(
+                f"{self.rnic.name}.rates",
+                {k: v for k, v in rates.items() if k != "time"},
+                category="telemetry", component="telemetry.counters")
         self._last = snap
-        self.sim.schedule(self.interval_ns, self._tick)
+        self._handle = self.sim.schedule(self.interval_ns, self._tick)
 
     def series(self, key: str) -> list[float]:
         """The sampled series for one rate key (e.g. ``"rx_bps"``)."""

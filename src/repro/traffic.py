@@ -140,6 +140,10 @@ class OpenLoopClient(_StatsMixin):
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.overruns = 0
         self._running = False
+        # pending-arrival handle: stop() cancels it so a stop->start
+        # cycle runs one arrival process, not two superimposed ones
+        # (which would double the offered load)
+        self._handle = None
         if conn.cq.on_completion is not None:
             raise RuntimeError("connection CQ already has a callback")
         conn.cq.on_completion = self._on_completion
@@ -162,16 +166,21 @@ class OpenLoopClient(_StatsMixin):
                 self.conn.post_write(self.mr, offset, size)
         except QueueFullError:
             self.overruns += 1
-        self.conn.cluster.sim.schedule(self._interarrival_ns(), self._arrival)
+        self._handle = self.conn.cluster.sim.schedule(
+            self._interarrival_ns(), self._arrival)
 
     def start(self) -> None:
         if self._running:
             raise RuntimeError("client already running")
         self._running = True
-        self.conn.cluster.sim.schedule(self._interarrival_ns(), self._arrival)
+        self._handle = self.conn.cluster.sim.schedule(
+            self._interarrival_ns(), self._arrival)
 
     def stop(self) -> None:
         self._running = False
+        if self._handle is not None:
+            self.conn.cluster.sim.cancel(self._handle)
+            self._handle = None
 
     @property
     def offered(self) -> int:

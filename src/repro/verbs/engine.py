@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.obs import runtime as _obs
 from repro.verbs.enums import (
     REQUIRED_REMOTE_ACCESS,
     AccessFlags,
@@ -133,6 +134,7 @@ class ImmediateEngine(Engine):
             raise ValueError(f"latency must be non-negative, got {latency}")
         self.latency = latency
         self._clock = 0.0
+        self._obs = _obs.engine_tracer(self, "verbs.immediate")
 
     @property
     def now(self) -> float:
@@ -142,4 +144,9 @@ class ImmediateEngine(Engine):
         wr.post_time = self._clock
         status = execute_data_movement(qp, wr)
         self._clock += self.latency
+        obs = self._obs
+        if obs is not None:
+            obs.span(wr.opcode.name.lower(), wr.post_time,
+                     self._clock - wr.post_time, category="verbs",
+                     length=wr.length, status=status.name)
         qp.complete_send(wr, status, self._clock)

@@ -119,6 +119,46 @@ class TestPauseStorm:
         cluster.sim.run(until=100_000.0)
         assert server.rnic.counters.pause_events >= 100
 
+    def test_stop_cancels_the_pending_burst(self):
+        """An unbounded storm must die with stop(): the pending burst
+        is cancelled, so the sim drains instead of pausing forever."""
+        cluster, server, _ = make_cluster()
+        storm = PauseStorm(start_ns=0.0, period_ns=1000.0, pause_ns=10.0)
+        injector = PauseStormInjector(cluster, [server], storm)
+        injector.start()
+        cluster.sim.run(until=5_500.0)
+        injector.stop()
+        fired = injector.fired
+        cluster.sim.run()                           # drains: queue is empty
+        assert injector.fired == fired
+        assert cluster.sim.pending == 0
+
+    def test_restart_runs_a_single_storm(self):
+        """A stop->start cycle must leave exactly one burst chain: the
+        restarted run produces the same burst count as a never-stopped
+        control run of the same seeded scenario."""
+        def bursts(restart):
+            cluster, server, _ = make_cluster()
+            storm = PauseStorm(start_ns=5_000.0, period_ns=1000.0,
+                               pause_ns=10.0)
+            injector = PauseStormInjector(cluster, [server], storm)
+            injector.start()
+            if restart:
+                cluster.sim.run(until=2_000.0)
+                injector.stop()
+                injector.start()
+            cluster.sim.run(until=20_000.0)
+            return server.rnic.counters.pause_events
+
+        assert bursts(restart=True) == bursts(restart=False) > 0
+
+    def test_double_start_rejected(self):
+        cluster, server, _ = make_cluster()
+        injector = PauseStormInjector(cluster, [server], PauseStorm())
+        injector.start()
+        with pytest.raises(RuntimeError):
+            injector.start()
+
 
 class TestRnrPressure:
     def test_validation(self):
@@ -158,3 +198,43 @@ class TestRnrPressure:
         cluster.sim.run(until=4_000_000.0)
         assert client.reconnects > 0
         assert len(host.pd.mrs) == registered
+
+    def test_stop_quiesces_the_workload(self):
+        """stop() cancels the replenish chain and any pending
+        reconnect; in-flight work drains and the sim goes idle instead
+        of the pressure running forever."""
+        cluster, server, _ = make_cluster()
+        client = RnrPressureClient(cluster, server, RnrPressure())
+        client.start()
+        cluster.sim.run(until=500_000.0)
+        client.stop()
+        cluster.sim.run()                           # must drain
+        assert cluster.sim.pending == 0
+        completed = client.completed
+        naks = cluster.hosts[
+            RnrPressureClient.HOST_NAME].rnic.counters.rnr_naks
+        cluster.sim.run(until=cluster.sim.now + 1_000_000.0)
+        assert client.completed == completed
+        assert cluster.hosts[
+            RnrPressureClient.HOST_NAME].rnic.counters.rnr_naks == naks
+
+
+class TestArmedFaults:
+    def test_install_returns_stoppable_handles(self):
+        cluster, server, client = make_cluster()
+        armed = get_scenario("pause-storm").install(
+            cluster, server=server, endpoints=[client])
+        assert armed.pause_storm is not None
+        assert armed.rnr_pressure is None
+        cluster.sim.run(until=500_000.0)
+        armed.stop()                                # idempotent surface
+        armed.stop()
+        cluster.sim.run()
+        assert cluster.sim.pending == 0
+
+    def test_clean_install_returns_empty_armed_set(self):
+        cluster, server, client = make_cluster()
+        armed = get_scenario("clean").install(
+            cluster, server=server, endpoints=[client])
+        assert armed.pause_storm is None and armed.rnr_pressure is None
+        armed.stop()                                # no-op, no crash

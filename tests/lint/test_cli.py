@@ -10,7 +10,7 @@ from repro.lint.__main__ import main
 FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures" / "repro"
 
 ALL_RULES = {"RAG001", "RAG002", "RAG003", "RAG004",
-             "RAG005", "RAG006", "RAG007", "RAG008"}
+             "RAG005", "RAG006", "RAG007", "RAG008", "RAG009"}
 
 
 def run_cli(argv, capsys):

@@ -179,6 +179,63 @@ def test_rag008_allows_io_outside_model_layers():
 
 
 # ----------------------------------------------------------------------
+# RAG009 — cancel-on-stop for self-rescheduling callbacks
+# ----------------------------------------------------------------------
+
+LEAKY = """
+class Leaky:
+    def start(self):
+        self.sim.schedule(10.0, self._tick)
+    def stop(self):
+        self._running = False
+    def _tick(self):
+        self.sim.schedule(10.0, self._tick)
+"""
+
+FIXED = """
+class Fixed:
+    def start(self):
+        self._handle = self.sim.schedule(10.0, self._tick)
+    def stop(self):
+        self.sim.cancel(self._handle)
+    def _tick(self):
+        self._handle = self.sim.schedule(10.0, self._tick)
+"""
+
+
+def test_rag009_flags_dropped_handles():
+    # both the start() and the _tick() schedule calls drop the handle
+    assert ids(LEAKY) == ["RAG009", "RAG009"]
+
+
+def test_rag009_flags_kept_handle_that_stop_never_cancels():
+    source = FIXED.replace("self.sim.cancel(self._handle)", "pass")
+    assert ids(source) == ["RAG009", "RAG009"]
+
+
+def test_rag009_accepts_cancel_on_stop():
+    assert ids(FIXED) == []
+
+
+def test_rag009_ignores_classes_without_stop():
+    source = LEAKY.replace(
+        "    def stop(self):\n        self._running = False\n", "")
+    assert ids(source) == []
+
+
+def test_rag009_ignores_schedules_of_foreign_callbacks():
+    # scheduling someone else's callback is not a self-owned chain
+    source = """
+class Driver:
+    def start(self, other):
+        self.sim.schedule(10.0, other.fire)
+    def stop(self):
+        pass
+"""
+    assert ids(source) == []
+
+
+# ----------------------------------------------------------------------
 # Engine mechanics
 # ----------------------------------------------------------------------
 
@@ -219,10 +276,10 @@ def test_rule_pack_is_complete_and_ordered():
     rules = default_rules()
     assert [r.rule_id for r in rules] == [
         "RAG001", "RAG002", "RAG003", "RAG004",
-        "RAG005", "RAG006", "RAG007", "RAG008",
+        "RAG005", "RAG006", "RAG007", "RAG008", "RAG009",
     ]
     index = rule_index()
-    assert len(index) == 8
+    assert len(index) == 9
     assert all(cls.title for cls in index.values())
 
 

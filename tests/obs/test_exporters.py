@@ -1,0 +1,113 @@
+"""Exporters and validators: round trips, schema failures, CLI."""
+
+import json
+
+from repro.obs import __main__ as obs_cli
+from repro.obs.exporters import (
+    validate_chrome_trace,
+    validate_metrics_json,
+    validate_path,
+    validate_trace_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_json,
+)
+from repro.obs.tracer import PHASE_COUNTER, PHASE_INSTANT, PHASE_SPAN, TraceEvent
+
+EVENTS = [
+    TraceEvent("wqe", PHASE_SPAN, 1000.0, "rnic.server", dur=250.0,
+               category="rnic", args={"wqe": 1}),
+    TraceEvent("bit", PHASE_INSTANT, 1500.0, "covert.tx", args={"bit": 1}),
+    TraceEvent("bw", PHASE_COUNTER, 2000.0, "telemetry.bandwidth",
+               args={"bps": 3.5}),
+]
+
+
+def test_jsonl_round_trip_validates(tmp_path):
+    path = write_jsonl(EVENTS, tmp_path / "run.trace.jsonl")
+    assert validate_trace_jsonl(path) == []
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["ph"] for r in records] == ["X", "i", "C"]
+    assert records[0]["dur"] == 250.0
+
+
+def test_jsonl_empty_file_is_an_error(tmp_path):
+    path = tmp_path / "empty.trace.jsonl"
+    path.write_text("")
+    assert validate_trace_jsonl(path) == [f"{path}: empty trace"]
+
+
+def test_jsonl_validator_catches_bad_records(tmp_path):
+    path = tmp_path / "bad.trace.jsonl"
+    path.write_text("\n".join([
+        "not json",
+        json.dumps({"name": "x", "ph": "Z", "ts": 1.0, "component": "sim"}),
+        json.dumps({"name": "x", "ph": "X", "ts": -1.0, "component": "sim"}),
+    ]) + "\n")
+    errors = validate_trace_jsonl(path)
+    assert any("invalid JSON" in e for e in errors)
+    assert any("unknown phase 'Z'" in e for e in errors)
+    assert any("non-negative 'dur'" in e for e in errors)
+    assert any("negative timestamp" in e for e in errors)
+
+
+def test_chrome_trace_shape_and_us_conversion(tmp_path):
+    path = write_chrome_trace(EVENTS, tmp_path / "run.trace.json")
+    assert validate_chrome_trace(path) == []
+    payload = json.loads(path.read_text())
+    events = payload["traceEvents"]
+    threads = {e["args"]["name"]: e["tid"] for e in events if e["ph"] == "M"}
+    assert set(threads) == {"rnic.server", "covert.tx",
+                            "telemetry.bandwidth"}
+    span = next(e for e in events if e["ph"] == "X")
+    assert span["ts"] == 1.0 and span["dur"] == 0.25   # ns -> us
+    assert span["tid"] == threads["rnic.server"]
+    instant = next(e for e in events if e["ph"] == "i")
+    assert instant["s"] == "t"
+
+
+def test_chrome_validator_catches_structure_errors(tmp_path):
+    path = tmp_path / "bad.trace.json"
+    path.write_text(json.dumps({"other": []}))
+    assert "traceEvents" in validate_chrome_trace(path)[0]
+    path.write_text(json.dumps({"traceEvents": []}))
+    assert "non-empty" in validate_chrome_trace(path)[0]
+    path.write_text(json.dumps(
+        {"traceEvents": [{"ph": "X", "name": "a", "ts": 1, "pid": 0,
+                          "tid": 0}]}))
+    assert any("missing 'dur'" in e for e in validate_chrome_trace(path))
+
+
+def test_metrics_round_trip_and_validator(tmp_path):
+    snapshot = {"sim": {"events": {"type": "counter", "value": 3.0}}}
+    path = write_metrics_json(snapshot, tmp_path / "run.metrics.json")
+    assert validate_metrics_json(path) == []
+    assert json.loads(path.read_text()) == snapshot
+
+    path.write_text(json.dumps({"sim": {"events": {"type": "mystery"}}}))
+    assert any("unknown metric type" in e for e in validate_metrics_json(path))
+
+
+def test_validate_path_dispatches_on_artifact_name(tmp_path):
+    jsonl = write_jsonl(EVENTS, tmp_path / "a.trace.jsonl")
+    chrome = write_chrome_trace(EVENTS, tmp_path / "a.trace.json")
+    metrics = write_metrics_json({}, tmp_path / "a.metrics.json")
+    assert validate_path(jsonl) == []
+    assert validate_path(chrome) == []
+    assert validate_path(metrics) == []
+    stray = tmp_path / "a.csv"
+    stray.write_text("x")
+    assert "unrecognized artifact name" in validate_path(stray)[0]
+
+
+def test_cli_validates_and_reports(tmp_path, capsys):
+    good = write_jsonl(EVENTS, tmp_path / "ok.trace.jsonl")
+    assert obs_cli.main(["validate", str(good)]) == 0
+    assert "ok" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.trace.jsonl"
+    bad.write_text("nope\n")
+    missing = tmp_path / "gone.trace.jsonl"
+    assert obs_cli.main(["validate", str(bad), str(missing)]) == 1
+    out = capsys.readouterr().out
+    assert "invalid JSON" in out and "no such file" in out

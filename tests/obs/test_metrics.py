@@ -1,0 +1,104 @@
+"""Metrics registry: instruments, collectors, and deterministic
+snapshot order."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_accumulates_and_rejects_negative():
+    counter = Counter()
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.snapshot() == {"type": "counter", "value": 3.5}
+    with pytest.raises(ValueError):
+        counter.inc(-1.0)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge()
+    gauge.set(5.0)
+    gauge.add(-2.0)
+    assert gauge.snapshot() == {"type": "gauge", "value": 3.0}
+
+
+def test_histogram_buckets_and_summary():
+    hist = Histogram(buckets=(10.0, 100.0))
+    for value in (5.0, 50.0, 500.0, 7.0):
+        hist.observe(value)
+    snap = hist.snapshot()
+    assert snap["counts"] == [2, 1, 1]          # <=10, <=100, overflow
+    assert snap["count"] == 4
+    assert snap["min"] == 5.0 and snap["max"] == 500.0
+    assert snap["mean"] == pytest.approx(562.0 / 4)
+
+
+def test_histogram_empty_snapshot_omits_extrema():
+    snap = Histogram().snapshot()
+    assert snap["count"] == 0
+    assert "min" not in snap and "mean" not in snap
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        Histogram(buckets=(10.0, 10.0))
+    with pytest.raises(ValueError):
+        Histogram(buckets=())
+
+
+def test_registry_get_or_create_returns_same_instrument():
+    registry = MetricsRegistry()
+    a = registry.counter("rnic.server", "wqes")
+    b = registry.counter("rnic.server", "wqes")
+    assert a is b
+    assert len(registry) == 1
+
+
+def test_registry_rejects_type_conflicts():
+    registry = MetricsRegistry()
+    registry.counter("sim", "events")
+    with pytest.raises(TypeError):
+        registry.gauge("sim", "events")
+
+
+def test_collector_values_appear_as_gauges():
+    registry = MetricsRegistry()
+    registry.register_collector("rnic.server",
+                                lambda: {"tx_bytes": 128, "rx_bytes": 64})
+    snap = registry.snapshot()
+    assert snap["rnic.server"]["tx_bytes"] == \
+        {"type": "gauge", "value": 128.0}
+
+
+def test_instruments_shadow_collector_values():
+    registry = MetricsRegistry()
+    registry.counter("sim", "events").inc(7)
+    registry.register_collector("sim", lambda: {"events": 999})
+    assert registry.snapshot()["sim"]["events"]["value"] == 7.0
+
+
+def test_unregister_collector():
+    registry = MetricsRegistry()
+    registry.register_collector("x", lambda: {"v": 1})
+    registry.unregister_collector("x")
+    registry.unregister_collector("x")             # idempotent
+    assert registry.snapshot() == {}
+
+
+def test_snapshot_order_is_deterministic():
+    """Insertion order must not leak into the serialized snapshot."""
+    forward = MetricsRegistry()
+    forward.counter("a", "x").inc()
+    forward.gauge("b", "y").set(2.0)
+    backward = MetricsRegistry()
+    backward.gauge("b", "y").set(2.0)
+    backward.counter("a", "x").inc()
+    assert json.dumps(forward.snapshot()) == json.dumps(backward.snapshot())
+    assert list(forward.snapshot()) == ["a", "b"]

@@ -1,0 +1,120 @@
+"""Tracer behaviour: recording, caps, and the kernel dispatch hook."""
+
+import pytest
+
+from repro.obs.tracer import (
+    PHASE_COUNTER,
+    PHASE_INSTANT,
+    PHASE_SPAN,
+    TraceEvent,
+    Tracer,
+)
+from repro.sim import Simulator
+
+
+def make_tracer(**kwargs):
+    clock = {"now": 0.0}
+    tracer = Tracer(clock=lambda: clock["now"], **kwargs)
+    return tracer, clock
+
+
+def test_span_records_explicit_window():
+    tracer, _ = make_tracer()
+    tracer.span("txpu", 120.0, 35.0, category="rnic", wqe=17)
+    event = tracer.events[0]
+    assert event.phase == PHASE_SPAN
+    assert (event.name, event.ts, event.dur) == ("txpu", 120.0, 35.0)
+    assert event.args == {"wqe": 17}
+
+
+def test_instant_defaults_to_clock_now():
+    tracer, clock = make_tracer()
+    clock["now"] = 42.0
+    tracer.instant("bit")
+    tracer.instant("late", ts=99.0)
+    assert [e.ts for e in tracer.events] == [42.0, 99.0]
+    assert all(e.phase == PHASE_INSTANT for e in tracer.events)
+
+
+def test_counter_copies_values():
+    tracer, _ = make_tracer()
+    values = {"bps": 1.5}
+    tracer.counter("bw", values, ts=10.0)
+    values["bps"] = 9.9
+    event = tracer.events[0]
+    assert event.phase == PHASE_COUNTER
+    assert event.args == {"bps": 1.5}
+
+
+def test_to_dict_includes_dur_only_for_spans():
+    span = TraceEvent("a", PHASE_SPAN, 1.0, "sim", dur=2.0)
+    instant = TraceEvent("b", PHASE_INSTANT, 1.0, "sim")
+    assert span.to_dict()["dur"] == 2.0
+    assert "dur" not in instant.to_dict()
+
+
+def test_component_override_per_event():
+    tracer, _ = make_tracer(component="sim0")
+    tracer.instant("x", ts=0.0)
+    tracer.instant("y", ts=0.0, component="rnic.server")
+    assert [e.component for e in tracer.events] == ["sim0", "rnic.server"]
+
+
+def test_cap_drops_past_max_events():
+    tracer, _ = make_tracer(max_events=2)
+    for i in range(5):
+        tracer.instant(f"e{i}", ts=float(i))
+    assert len(tracer) == 2
+    assert tracer.dropped == 3
+    assert tracer.stats() == {"events": 2, "dropped": 3, "max_events": 2}
+
+
+def test_max_events_must_be_positive():
+    with pytest.raises(ValueError):
+        Tracer(clock=lambda: 0.0, max_events=0)
+
+
+def test_dispatch_hook_records_every_fired_event():
+    tracer, _ = make_tracer()
+    sim = Simulator()
+    tracer.install_on(sim)
+
+    def tick():
+        pass
+
+    sim.schedule(10.0, tick)
+    sim.schedule(20.0, tick, priority=2)
+    sim.run()
+    assert len(tracer.events) == 2
+    first, second = tracer.events
+    assert first.ts == 10.0 and first.category == "dispatch"
+    assert "tick" in first.name
+    assert first.args is None                      # priority 0 elided
+    assert second.args == {"priority": 2}
+
+
+def test_install_on_is_idempotent_per_tracer():
+    tracer, _ = make_tracer()
+    sim = Simulator()
+    tracer.install_on(sim)
+    tracer.install_on(sim)                         # replaces, not stacks
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert len(tracer.events) == 1
+
+
+def test_dispatch_hook_coexists_with_determinism_digest():
+    """The obs tracer and the trace digest share the multiplexed hook
+    slot; neither must disturb the other (or the digest value)."""
+    reference = Simulator(seed=3, trace=True)
+    reference.schedule(5.0, lambda: None)
+    reference.run()
+
+    traced = Simulator(seed=3, trace=True)
+    tracer, _ = make_tracer()
+    tracer.install_on(traced)
+    traced.schedule(5.0, lambda: None)
+    traced.run()
+
+    assert len(tracer.events) == 1
+    assert traced.trace_digest == reference.trace_digest

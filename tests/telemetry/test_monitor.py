@@ -56,6 +56,47 @@ def test_monitor_stop():
     assert len(monitor.samples) == count
 
 
+def test_monitor_restart_runs_a_single_tick_chain():
+    """The regression this module's lifecycle fix targets: stop() used
+    to leave the pending tick alive, so a stop->start cycle ran TWO
+    chains and doubled the sample rate.  A restarted monitor must
+    sample at exactly the configured interval."""
+    import numpy as np
+
+    cluster, server, _ = setup_cluster()
+    flow = FluidFlow(opcode=Opcode.RDMA_READ, msg_size=4096)
+    server.rnic.add_fluid_flow(flow)
+    monitor = BandwidthMonitor(cluster.sim, server.rnic, flow,
+                               interval_ns=MILLISECONDS)
+    monitor.start()
+    cluster.run_for(3.5 * MILLISECONDS)            # ticks at 1, 2, 3 ms
+    monitor.stop()
+    monitor.start()                                # next tick at 4.5 ms
+    cluster.run_for(5 * MILLISECONDS)
+    # 3 samples before the restart, 5 after — not 3 + 2x5 from a
+    # doubled chain
+    assert len(monitor.samples) == 8
+    spacing = np.diff(monitor.times)
+    # monotone spacing == interval everywhere except the restart gap;
+    # a leaked second chain would interleave sub-interval gaps instead
+    assert np.allclose(np.delete(spacing, 2), MILLISECONDS)
+    assert spacing.min() >= MILLISECONDS - 1e-6
+
+
+def test_monitor_stop_before_first_tick_cancels_it():
+    cluster, server, _ = setup_cluster()
+    flow = FluidFlow(opcode=Opcode.RDMA_READ, msg_size=64)
+    server.rnic.add_fluid_flow(flow)
+    monitor = BandwidthMonitor(cluster.sim, server.rnic, flow,
+                               interval_ns=MILLISECONDS)
+    monitor.start()
+    monitor.stop()
+    monitor.stop()                                 # idempotent
+    cluster.run_for(3 * MILLISECONDS)
+    assert monitor.samples == []
+    assert cluster.sim.pending == 0                # nothing left queued
+
+
 def test_monitor_double_start_rejected():
     cluster, server, _ = setup_cluster()
     flow = FluidFlow(opcode=Opcode.RDMA_READ, msg_size=64)
@@ -93,6 +134,38 @@ def test_counter_sampler_measures_rates():
     rx_bps = sampler.series("rx_bps")
     assert len(rx_bps) >= 9
     assert max(rx_bps) > 0
+
+
+def test_counter_sampler_restart_runs_a_single_tick_chain():
+    """Same lifecycle regression as the bandwidth monitor, with an
+    extra twist: two interleaved chains also race on ``_last`` and halve
+    every reported rate.  After a restart the sampler must tick exactly
+    once per interval."""
+    import numpy as np
+
+    cluster, server, _ = setup_cluster()
+    sampler = CounterSampler(cluster.sim, server.rnic,
+                             interval_ns=MILLISECONDS)
+    sampler.start()
+    cluster.run_for(3.5 * MILLISECONDS)
+    sampler.stop()
+    sampler.start()
+    cluster.run_for(5 * MILLISECONDS)
+    assert len(sampler.rates) == 8
+    times = [r["time"] for r in sampler.rates]
+    spacing = np.diff(times)
+    assert np.allclose(np.delete(spacing, 2), MILLISECONDS)
+    assert spacing.min() >= MILLISECONDS - 1e-6
+
+
+def test_counter_sampler_rejects_unclassifiable_keys():
+    """Explicit keys are validated at construction: a key the rate
+    math cannot classify must fail loudly, not be silently misreported
+    at the first tick."""
+    cluster, server, _ = setup_cluster()
+    with pytest.raises(ValueError, match="cannot classify"):
+        CounterSampler(cluster.sim, server.rnic,
+                       keys=["tx_bytes", "pause_events"])
 
 
 def test_counter_sampler_selected_keys():

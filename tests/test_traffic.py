@@ -107,6 +107,39 @@ class TestOpenLoop:
         with pytest.raises(ValueError):
             OpenLoopClient(conn, mr, rate_per_sec=0)
 
+    def test_restart_does_not_double_the_offered_load(self):
+        """stop() cancels the pending arrival, so a stop->start cycle
+        runs ONE Poisson process — a leaked chain would superimpose two
+        and roughly double the observed rate."""
+        def offered_after_restart(restart):
+            cluster, _, conn, mr = make_testbed(max_send_wr=64,
+                                                seed=3)
+            client = OpenLoopClient(conn, mr, rate_per_sec=100_000)
+            client.start()
+            if restart:
+                cluster.run_for(2 * MILLISECONDS)
+                client.stop()
+                client.start()
+            cluster.run_for(10 * MILLISECONDS)
+            client.stop()
+            return client.offered
+
+        single = offered_after_restart(restart=False)
+        restarted = offered_after_restart(restart=True)
+        # ~1000 arrivals either way at 100 kops/s over ~10-12 ms; a
+        # doubled chain would push the restarted run towards 2x
+        assert restarted < 1.5 * single
+
+    def test_stop_drains_the_simulation(self):
+        cluster, _, conn, mr = make_testbed()
+        client = OpenLoopClient(conn, mr, rate_per_sec=100_000)
+        client.start()
+        cluster.run_for(MILLISECONDS)
+        client.stop()
+        client.stop()                               # idempotent
+        cluster.sim.run()                           # no immortal arrivals
+        assert cluster.sim.pending == 0
+
 
 class TestTraceReplay:
     def test_replays_in_order(self):

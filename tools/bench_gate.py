@@ -16,7 +16,16 @@ The gate FAILS when event-kernel dispatch drops more than
 benches are advisory (printed, never fatal).  The baseline records
 which kernel engine produced it — when the current engine differs
 (e.g. the C accelerator is not built here), rates are not comparable
-and the gate is skipped with a notice.  Baselines are machine-relative
+and the gate is skipped with a notice.
+
+A second, baseline-free gate budgets the observability layer
+(``repro.obs``): dispatch on the shipped :class:`Simulator` with no
+obs session installed is timed against an obs-free build of the same
+facade over the same engine core, interleaved on the same machine,
+and FAILS when the disabled-path overhead exceeds ``--obs-tolerance``
+(default 2 %).  The tracing-enabled rate is reported as advisory
+context (tracing is expected to cost real time; only the *off* switch
+must be free).  Baselines are machine-relative
 and should be *conservative floors* — the worst min a healthy build
 produces on that machine, not a lucky quiet-box run — or the gate
 flaps on load noise.  Refresh with ``--update-baseline`` when the
@@ -40,10 +49,13 @@ sys.path.insert(0, str(REPO / "src"))
 
 import numpy as np  # noqa: E402
 
+from repro import obs  # noqa: E402
 from repro.host import Cluster  # noqa: E402
 from repro.rnic import TranslationUnit, cx5  # noqa: E402
 from repro.side.snoop import SnoopConfig, TraceSynthesizer  # noqa: E402
 from repro.sim import KERNEL_ENGINE, Simulator  # noqa: E402
+from repro.sim.kernel import _CORE  # noqa: E402
+from repro.sim.random import RandomStreams  # noqa: E402
 
 DEFAULT_BASELINE = REPO / "benchmarks" / "baselines" / "BENCH_simulator.json"
 DEFAULT_OUT = REPO / "BENCH_simulator.json"
@@ -146,6 +158,118 @@ BENCHES = {
 }
 
 
+# ----------------------------------------------------------------------
+# Observability overhead (baseline-free, paired on this machine)
+# ----------------------------------------------------------------------
+OBS_EVENTS = 50_000
+
+
+def _dispatch_workload(sim_factory):
+    """The kernel_dispatch tick chain, parameterised over what builds
+    the simulator, sized up so a 2 % budget is resolvable above timer
+    jitter."""
+    def run():
+        sim = sim_factory()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < OBS_EVENTS:
+                sim.schedule(10.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        assert count[0] == OBS_EVENTS
+
+    return run
+
+
+def _paired_min_seconds(run_a, run_b, repeats: int) -> tuple[float, float]:
+    """Min-of-N for two workloads with strictly interleaved timing, so
+    clock-frequency drift and cache pressure hit both sides equally."""
+    run_a()
+    run_b()
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run_a()
+        best_a = min(best_a, time.perf_counter() - started)
+        started = time.perf_counter()
+        run_b()
+        best_b = min(best_b, time.perf_counter() - started)
+    return best_a, best_b
+
+
+class _PreObsSimulator(_CORE):
+    """The Simulator facade as it stood before repro.obs existed: same
+    engine core, same Python-subclass method-lookup cost, seeded
+    streams — but no dispatch-hook plumbing and no session
+    self-registration.  Comparing against the bare core instead would
+    blame the (pre-existing, ~20 %) heap-subclass tax on obs."""
+
+    __slots__ = ("random", "_trace")
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self.random = RandomStreams(seed)
+        self._trace = None
+
+
+def bench_obs_overhead() -> dict:
+    """Measure the repro.obs tax on event dispatch.
+
+    * ``disabled`` — the shipped :class:`Simulator` with no obs session
+      installed: the production default every experiment runs under.
+    * ``reference`` — :class:`_PreObsSimulator`: what dispatch would
+      cost if the observability layer did not exist.
+    * ``tracing`` — a full ``trace=True`` session recording every
+      dispatch (advisory; expected to be slower).
+    """
+    obs.uninstall()  # belt and braces: measure the true disabled path
+    disabled_s, reference_s = _paired_min_seconds(
+        _dispatch_workload(Simulator), _dispatch_workload(_PreObsSimulator),
+        repeats=15)
+
+    def traced():
+        obs.install(trace=True, max_events=OBS_EVENTS + 16)
+        try:
+            _dispatch_workload(Simulator)()
+        finally:
+            obs.uninstall()
+
+    tracing_s = _min_seconds(traced, repeats=3)
+    overhead = max(0.0, disabled_s / reference_s - 1.0)
+    return {
+        "events": OBS_EVENTS,
+        "reference_ops_per_s": round(OBS_EVENTS / reference_s, 1),
+        "disabled_ops_per_s": round(OBS_EVENTS / disabled_s, 1),
+        "disabled_overhead": round(overhead, 4),
+        "tracing_ops_per_s": round(OBS_EVENTS / tracing_s, 1),
+        "tracing_slowdown": round(tracing_s / disabled_s, 2),
+    }
+
+
+def obs_gate(report: dict, tolerance: float) -> int:
+    """Fail when the tracing-*disabled* dispatch overhead exceeds the
+    budget.  Baseline-free: both sides ran interleaved on this machine,
+    so no committed reference or engine check is needed."""
+    section = report["obs"]
+    overhead = section["disabled_overhead"]
+    verdict = "ok" if overhead <= tolerance else "FAIL"
+    print(f"  obs disabled-path overhead: {overhead:.2%} "
+          f"({section['disabled_ops_per_s']:,.0f} vs obs-free facade "
+          f"{section['reference_ops_per_s']:,.0f} ops/s) "
+          f"[budget {tolerance:.0%}: {verdict}]")
+    print(f"  obs tracing-enabled (advisory): "
+          f"{section['tracing_ops_per_s']:,.0f} ops/s "
+          f"({section['tracing_slowdown']:.2f}x disabled)")
+    if verdict == "FAIL":
+        print(f"bench_gate: repro.obs costs more than {tolerance:.0%} "
+              f"on event dispatch with tracing disabled")
+        return 1
+    return 0
+
+
 def run_benches() -> dict:
     report = {"engine": KERNEL_ENGINE, "benches": {}}
     for name, bench in BENCHES.items():
@@ -160,6 +284,7 @@ def run_benches() -> dict:
         print(f"  {name}: {ops} ops in {seconds * 1e3:.2f} ms "
               f"({rate:,.0f} ops/s, {rate / PRE_PR_OPS_PER_S[name]:.1f}x "
               f"pre-rework)")
+    report["obs"] = bench_obs_overhead()
     return report
 
 
@@ -205,6 +330,9 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional dispatch-rate drop "
                              "(default: 0.20)")
+    parser.add_argument("--obs-tolerance", type=float, default=0.02,
+                        help="allowed tracing-disabled observability "
+                             "overhead on event dispatch (default: 0.02)")
     parser.add_argument("--no-gate", action="store_true",
                         help="emit the report without comparing")
     parser.add_argument("--update-baseline", action="store_true",
@@ -212,6 +340,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if not 0.0 < args.tolerance < 1.0:
         parser.error("--tolerance must be in (0, 1)")
+    if not 0.0 < args.obs_tolerance < 1.0:
+        parser.error("--obs-tolerance must be in (0, 1)")
 
     print(f"bench_gate: engine={KERNEL_ENGINE}")
     report = run_benches()
@@ -224,7 +354,8 @@ def main(argv=None) -> int:
         return 0
     if args.no_gate:
         return 0
-    return gate(report, args.baseline, args.tolerance)
+    status = gate(report, args.baseline, args.tolerance)
+    return status | obs_gate(report, args.obs_tolerance)
 
 
 if __name__ == "__main__":

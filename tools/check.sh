@@ -14,13 +14,17 @@
 #                      seeds, bit-identical or bust
 #   4. faults smoke  — BLOCKING: the fault-injection experiment end to
 #                      end at CI scale (docs/FAULTS.md)
-#   5. speedups      — ADVISORY: build the C event-kernel accelerator
+#   5. obs smoke     — BLOCKING: one experiment under --trace
+#                      --metrics, artifacts schema-validated with
+#                      `python -m repro.obs validate` (docs/OBSERVABILITY.md)
+#   6. speedups      — ADVISORY: build the C event-kernel accelerator
 #                      (repro.sim falls back to pure Python without it)
-#   6. bench gate    — BLOCKING: simulator throughput vs the committed
+#   7. bench gate    — BLOCKING: simulator throughput vs the committed
 #                      baseline (docs/PERF.md); fails on a >20 %
-#                      event-dispatch regression, skips on engine
-#                      mismatch
-#   7. pytest tier-1 — BLOCKING: the full unit/integration suite
+#                      event-dispatch regression (skips on engine
+#                      mismatch) or a >2 % tracing-disabled
+#                      observability overhead
+#   8. pytest tier-1 — BLOCKING: the full unit/integration suite
 set -u
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -52,6 +56,12 @@ python -m repro.lint --audit inter-mr || fail=1
 
 echo "== faults experiment smoke (blocking) =="
 python -m repro.experiments faults --smoke --out "$(mktemp -d)" || fail=1
+
+echo "== observability smoke (blocking) =="
+obs_out="$(mktemp -d)"
+python -m repro.experiments table1 --trace --metrics --out "$obs_out" || fail=1
+python -m repro.obs validate "$obs_out/table1.trace.jsonl" \
+    "$obs_out/table1.trace.json" "$obs_out/table1.metrics.json" || fail=1
 
 echo "== C event-kernel build (advisory) =="
 tools/build_speedups.sh || echo "-- C accelerator unavailable; pure-Python kernel in use"
