@@ -15,3 +15,14 @@ def test_table1_defense_matrix(benchmark, report):
     # every Ragnar channel bypasses all three deployed defenses
     for attack in ("ragnar-priority", "ragnar-inter-mr", "ragnar-intra-mr"):
         assert rows[attack]["undetected"], attack
+
+    # the stronger online counter suite: flags the channels that
+    # modulate durable counters (with a finite detection latency) ...
+    for attack in ("pythia", "ragnar-priority"):
+        assert rows[attack]["online"], attack
+        assert rows[attack]["detect_ms"] > 0.0, attack
+    # ... but the volatile ULI channels still evade it — their counter
+    # series never modulate (the paper's stealth claim)
+    for attack in ("ragnar-inter-mr", "ragnar-intra-mr"):
+        assert not rows[attack]["online"], attack
+        assert rows[attack]["detect_ms"] != rows[attack]["detect_ms"], attack

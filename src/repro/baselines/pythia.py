@@ -187,22 +187,38 @@ class PythiaChannel:
 
     def cache_telemetry(self, bits, seed: int = 0) -> dict:
         """Run a transmission and report the MPT cache's counters —
-        the evidence :class:`~repro.defense.CacheGuard` keys on."""
+        the evidence :class:`~repro.defense.CacheGuard` keys on.
+
+        Besides the whole-run aggregates this also samples the eviction
+        counter once per symbol (``eviction_series``: parallel
+        timestamp/delta tuples) — the time series a polling defender
+        such as :class:`repro.defense.OnlineCounterDefense` watches.
+        Because the channel is persistent, every 1-symbol must kick
+        real entries out of the cache and the series toggles with the
+        payload; that per-symbol structure, not the aggregate, is what
+        online change-point detectors key on."""
         bits = [1 if b else 0 for b in bits]
         cluster, tx_conn, rx_conn, probe_mr, eviction_mrs = self._build(seed)
         cache = cluster.hosts["server"].rnic.translation.mpt_cache
         cache.reset_stats()
         start = cluster.sim.now
         self._read(rx_conn, probe_mr, self.config.probe_size)
+        sample_times = []
+        sample_deltas = []
+        last_evictions = cache.evictions
         for bit in bits:
             if bit:
                 for mr in eviction_mrs:
                     self._read(tx_conn, mr, self.config.probe_size)
             cluster.run_for(self.config.settle_ns)
             self._read(rx_conn, probe_mr, self.config.probe_size)
+            sample_times.append(cluster.sim.now - start)
+            sample_deltas.append(float(cache.evictions - last_evictions))
+            last_evictions = cache.evictions
         return {
             "duration_ns": cluster.sim.now - start,
             "accesses": cache.hits + cache.misses,
             "misses": cache.misses,
             "evictions": cache.evictions,
+            "eviction_series": (tuple(sample_times), tuple(sample_deltas)),
         }

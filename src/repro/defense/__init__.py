@@ -8,7 +8,11 @@ Detection side:
   per-opcode/message-size profiles and RDMA resource counts (catches
   the Collie/Husky performance attacks);
 * :class:`CacheGuard` — cache-attack detection on MPT/MTT miss and
-  eviction rates (catches Pythia).
+  eviction rates (catches Pythia);
+* :class:`OnlineCounterDefense` — streaming change-point/periodicity
+  detectors (:mod:`repro.obs.insight`) watching per-tenant counter
+  *time series* rather than whole-run aggregates; reports detection
+  latency, feeding Table I's online columns.
 
 Mitigation side (Section VII):
 
@@ -26,6 +30,12 @@ from repro.defense.pfc import Grain1Detector
 from repro.defense.harmonic import HarmonicDetector, HarmonicIsolation
 from repro.defense.cache_guard import CacheGuard
 from repro.defense.noise import with_noise_mitigation
+from repro.defense.online import (
+    CounterTrace,
+    OnlineCounterDefense,
+    OnlineVerdict,
+    sample_counts,
+)
 from repro.defense.partition import PartitionedTranslationUnit, with_partitioning
 
 __all__ = [
@@ -35,6 +45,10 @@ __all__ = [
     "HarmonicDetector",
     "HarmonicIsolation",
     "CacheGuard",
+    "CounterTrace",
+    "OnlineCounterDefense",
+    "OnlineVerdict",
+    "sample_counts",
     "with_noise_mitigation",
     "PartitionedTranslationUnit",
     "with_partitioning",

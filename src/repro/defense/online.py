@@ -1,0 +1,166 @@
+"""Online counter-stream defense: what a telemetry-watching defender
+actually sees.
+
+The deployed defenses in Table I judge *aggregate* tenant profiles.
+Real counter-based monitoring (Pythia-era eviction telemetry, sRDMA's
+accounting, an ``ethtool -S`` polling loop) is stronger than that: it
+watches the counter *time series* and can catch modulation — the
+covert signalling itself — even when every aggregate looks benign.
+This module packages the streaming detectors of
+:mod:`repro.obs.insight.detectors` as that defender:
+
+* a persistent channel (Pythia) must flip durable counters every
+  symbol, so its eviction/miss series is a square wave the
+  change-point detectors light up on;
+* the Grain-I priority channel modulates per-TC byte counters, so a
+  bytes-rate series shows the toggling (the paper's "partly
+  detectable" row);
+* Ragnar's volatile ULI channels modulate *which* address the sender
+  reads, never *how much* — every counter series stays stationary and
+  all three detectors stay silent.
+
+Table I (`repro.experiments.table1`) feeds each attack's
+defender-visible series through :class:`OnlineCounterDefense` and
+reports the verdicts as detection-latency / flag-rate columns — the
+paper's "counters don't see volatile channels" claim as a measured
+artifact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence
+
+from repro.obs.insight.detectors import (
+    CusumDetector,
+    Detection,
+    EwmaDetector,
+    PeriodicityDetector,
+    StreamingDetector,
+)
+
+#: Default detector suite factories (fresh instances per watch()).
+DEFAULT_DETECTORS: tuple[Callable[[], StreamingDetector], ...] = (
+    EwmaDetector,
+    CusumDetector,
+    PeriodicityDetector,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class CounterTrace:
+    """One defender-visible counter series for one tenant window."""
+
+    tenant: str
+    #: Which counter the samples came from (e.g. ``"evictions_per_s"``).
+    key: str
+    times_ns: tuple[float, ...]
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times_ns) != len(self.values):
+            raise ValueError(
+                f"series length mismatch: {len(self.times_ns)} times vs "
+                f"{len(self.values)} values")
+        if len(self.times_ns) < 2:
+            raise ValueError("a counter trace needs at least two samples")
+        if any(b <= a for a, b in zip(self.times_ns, self.times_ns[1:])):
+            raise ValueError("sample times must be strictly increasing")
+
+
+@dataclasses.dataclass(frozen=True)
+class OnlineVerdict:
+    """The combined outcome of watching one counter trace."""
+
+    tenant: str
+    flagged: bool
+    #: Name of the first detector to alarm ("" when none did).
+    detector: str
+    #: Sim-time from window start to the first alarm (None if never).
+    detection_latency_ns: Optional[float]
+    #: Highest per-detector alarm rate over the window.
+    flag_rate: float
+    reason: str = ""
+    #: Every detector's full verdict, keyed by detector name.
+    detections: dict[str, Detection] = dataclasses.field(
+        default_factory=dict)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.flagged
+
+
+class OnlineCounterDefense:
+    """Streams a tenant's counter series through a detector suite.
+
+    ``repro.defense``-compatible: construct once, call :meth:`watch`
+    per tenant window; each call builds fresh detector instances from
+    the configured factories so tenants never share state.
+    """
+
+    name = "counter-online"
+
+    def __init__(self, detector_factories: Optional[
+            Sequence[Callable[[], StreamingDetector]]] = None) -> None:
+        self.detector_factories = tuple(
+            detector_factories if detector_factories is not None
+            else DEFAULT_DETECTORS)
+        if not self.detector_factories:
+            raise ValueError("need at least one detector factory")
+
+    def watch(self, trace: CounterTrace) -> OnlineVerdict:
+        """Run every detector over the series; earliest alarm wins."""
+        detectors = [factory() for factory in self.detector_factories]
+        for ts, value in zip(trace.times_ns, trace.values):
+            for detector in detectors:
+                detector.observe(ts, value)
+        detections = {d.name: d.finish() for d in detectors}
+        start = trace.times_ns[0]
+        flagged = [d for d in detections.values() if d.flagged]
+        if not flagged:
+            return OnlineVerdict(
+                tenant=trace.tenant, flagged=False, detector="",
+                detection_latency_ns=None, flag_rate=0.0,
+                reason=f"{trace.key} series stationary over "
+                       f"{len(trace.values)} samples",
+                detections=detections)
+        first = min(flagged, key=lambda d: (d.first_flag_ts, d.detector))
+        return OnlineVerdict(
+            tenant=trace.tenant, flagged=True, detector=first.detector,
+            detection_latency_ns=first.first_flag_ts - start,
+            flag_rate=max(d.flag_rate for d in flagged),
+            reason=first.reason,
+            detections=detections)
+
+    def watch_all(self, traces: Sequence[CounterTrace]) -> OnlineVerdict:
+        """Watch several series for one tenant (e.g. eviction rate AND
+        byte rate); the earliest alarm across series wins."""
+        if not traces:
+            raise ValueError("need at least one trace")
+        verdicts = [self.watch(trace) for trace in traces]
+        flagged = [v for v in verdicts if v.flagged]
+        if not flagged:
+            return verdicts[0]
+        return min(flagged, key=lambda v: v.detection_latency_ns)
+
+
+def sample_counts(times_ns: Sequence[float], window_start: float,
+                  window_end: float, intervals: int
+                  ) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """Bucket raw event timestamps into a per-interval count series —
+    the CounterSampler view of a completion stream.
+
+    Returns (interval end times, counts per interval); events outside
+    the window are dropped.
+    """
+    if intervals < 2:
+        raise ValueError(f"need at least 2 intervals, got {intervals}")
+    if window_end <= window_start:
+        raise ValueError("window must have positive span")
+    width = (window_end - window_start) / intervals
+    counts = [0.0] * intervals
+    for ts in times_ns:
+        if not window_start <= ts < window_end:
+            continue
+        counts[min(int((ts - window_start) / width), intervals - 1)] += 1.0
+    edges = tuple(window_start + width * (i + 1) for i in range(intervals))
+    return edges, tuple(counts)

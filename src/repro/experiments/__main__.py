@@ -94,9 +94,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="record a structured event trace and write "
                              "<name>.trace.jsonl plus a Chrome-loadable "
                              "<name>.trace.json next to the results")
+    parser.add_argument("--trace-sample", type=int, default=1,
+                        metavar="N",
+                        help="record 1-in-N kernel dispatch events "
+                             "(implies --trace; skipped dispatches are "
+                             "accounted exactly, default: 1 = record "
+                             "all)")
     parser.add_argument("--metrics", action="store_true",
                         help="collect the repro.obs metrics registry and "
                              "write <name>.metrics.json")
+    parser.add_argument("--report", action="store_true",
+                        help="render each experiment's artifacts to a "
+                             "deterministic <name>.report.md "
+                             "(python -m repro.obs report)")
     parser.add_argument("--profile", action="store_true",
                         help="wrap each experiment in cProfile and write "
                              "<name>.prof.txt (wall-clock profiling; "
@@ -106,6 +116,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--retries must be non-negative")
     if args.jobs < 1:
         parser.error("--jobs must be positive")
+    if args.trace_sample < 1:
+        parser.error("--trace-sample must be a positive integer")
+    if args.trace_sample > 1:
+        args.trace = True
 
     if args.list:
         for name in REGISTRY:
@@ -124,7 +138,9 @@ def main(argv: list[str] | None = None) -> int:
             outcome = run_task(name, args.seed, args.smoke, args.full,
                                args.retries, args.out, registry=REGISTRY,
                                trace=args.trace, metrics=args.metrics,
-                               profile=args.profile)
+                               profile=args.profile,
+                               trace_sample=args.trace_sample,
+                               report=args.report)
             _report(outcome, args.out, args.retries, failures)
     else:
         # one pristine interpreter per experiment: no counter or cache
@@ -139,7 +155,8 @@ def main(argv: list[str] | None = None) -> int:
             futures = [
                 pool.submit(run_task, name, args.seed, args.smoke,
                             args.full, args.retries, args.out, None,
-                            args.trace, args.metrics, args.profile)
+                            args.trace, args.metrics, args.profile,
+                            args.trace_sample, args.report)
                 for name in names
             ]
             # collect in submission order — stdout matches serial runs

@@ -134,6 +134,8 @@ def run_task(
     trace: bool = False,
     metrics: bool = False,
     profile: bool = False,
+    trace_sample: int = 1,
+    report: bool = False,
 ) -> TaskOutcome:
     """Run one registered experiment end to end: invoke (with retries),
     render, save.  Printing is left to the caller so that parallel runs
@@ -147,8 +149,11 @@ def run_task(
     ``trace``/``metrics`` install a fresh :mod:`repro.obs` session
     around each attempt and export ``<name>.trace.jsonl`` /
     ``<name>.trace.json`` / ``<name>.metrics.json`` next to the table;
-    ``profile`` wraps the run in cProfile and writes
-    ``<name>.prof.txt``.
+    ``trace_sample=N`` records 1-in-N kernel dispatch events (exactly
+    accounted — see :attr:`repro.obs.Tracer.sampled_out`) to keep
+    long traced runs cheap; ``profile`` wraps the run in cProfile and
+    writes ``<name>.prof.txt``; ``report`` renders the run's artifacts
+    to ``<name>.report.md`` via :func:`repro.obs.render_report`.
     """
     runner = (REGISTRY if registry is None else registry)[name]
     kwargs = dict(FULL_SCALE.get(name, {})) if full else {}
@@ -159,7 +164,8 @@ def run_task(
     for attempt in range(retries + 1):
         # a fresh obs session per attempt: a crashed attempt's partial
         # trace must not leak into the retry's export
-        session = obs.install(trace=trace, metrics=metrics) \
+        session = obs.install(trace=trace, metrics=metrics,
+                              trace_sample_rate=trace_sample) \
             if (trace or metrics) else None
         profiler = cProfile.Profile() if profile else None
         try:
@@ -189,6 +195,14 @@ def run_task(
         )
     table = result.format_table()
     path = result.save(out)
+    if report:
+        import pathlib
+
+        from repro.obs.insight.report import render_report
+
+        report_path = pathlib.Path(out) / f"{name}.report.md"
+        report_path.write_text(render_report(out, names=[name]))
+        extras.append(str(report_path))
     return TaskOutcome(
         name=name, table=table, path=str(path),
         elapsed=wallclock() - started, extras=extras,

@@ -96,19 +96,24 @@ def _flagged(profile: TenantProfile, scale: float,
 def run(seed: int = 0) -> ExperimentResult:
     """Detection-margin sweep for every attack vs the benign fleet."""
     benign = benign_population(seed=seed)
-    pythia = _pythia_profile(seed)
+    # The table1 helpers return (profile, counter trace) pairs — the
+    # trace feeds the online detection matrix; this sweep only grades
+    # the per-tenant profiles.
+    pythia, _ = _pythia_profile(seed)
+    perf, _ = _perf_attack_profile()
+    priority, _ = _priority_tx_profile()
+    inter_mr, _ = _uli_sender_profile("inter-mr", seed)
+    intra_mr, _ = _uli_sender_profile("intra-mr", seed)
     attacks = [
         # (name, paper grade, profile, cache guard deployed?)
-        ("perf-grain2", "Medium (paper)", _perf_attack_profile(), True),
+        ("perf-grain2", "Medium (paper)", perf, True),
         # Table I grades Pythia High because no RNIC cache telemetry was
         # deployed when it was published; we score both worlds
         ("pythia (pre cache-guard)", "High (paper)", pythia, False),
         ("pythia (cache-guard era)", "-", pythia, True),
-        ("ragnar-priority", "High (paper)", _priority_tx_profile(), True),
-        ("ragnar-inter-mr", "High (paper)",
-         _uli_sender_profile("inter-mr", seed), True),
-        ("ragnar-intra-mr", "High (paper)",
-         _uli_sender_profile("intra-mr", seed), True),
+        ("ragnar-priority", "High (paper)", priority, True),
+        ("ragnar-inter-mr", "High (paper)", inter_mr, True),
+        ("ragnar-intra-mr", "High (paper)", intra_mr, True),
     ]
     rows = []
     for name, paper_grade, profile, cache_guard in attacks:

@@ -8,6 +8,10 @@ Three pieces, assembled by :mod:`repro.obs.runtime`:
   component with deterministic snapshot order.
 * :mod:`repro.obs.exporters` — JSONL and Chrome trace-event writers
   plus the validators behind ``python -m repro.obs validate``.
+* :mod:`repro.obs.insight` — the analysis layer over exported
+  artifacts: :class:`TraceFrame` indexing, streaming change-point /
+  periodicity detectors, ``python -m repro.obs report`` and
+  ``python -m repro.obs diff``.
 
 Everything is disabled by default; ``install(trace=..., metrics=...)``
 turns it on for the current process (the experiments CLI does this for
@@ -23,6 +27,17 @@ from .exporters import (
     write_chrome_trace,
     write_jsonl,
     write_metrics_json,
+)
+from .insight import (
+    CusumDetector,
+    Detection,
+    DetectorBank,
+    DiffResult,
+    EwmaDetector,
+    PeriodicityDetector,
+    TraceFrame,
+    diff_runs,
+    render_report,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .runtime import (
@@ -40,15 +55,24 @@ from .tracer import TraceEvent, Tracer
 
 __all__ = [
     "Counter",
+    "CusumDetector",
+    "Detection",
+    "DetectorBank",
+    "DiffResult",
+    "EwmaDetector",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "ObsSession",
+    "PeriodicityDetector",
     "TraceEvent",
+    "TraceFrame",
     "Tracer",
     "attach_simulator",
+    "diff_runs",
     "engine_tracer",
     "install",
+    "render_report",
     "register_rnic",
     "registry",
     "session",

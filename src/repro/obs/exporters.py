@@ -172,8 +172,39 @@ def validate_chrome_trace(path) -> list:
     return errors
 
 
+def _check_histogram_row(row: dict, where: str, errors: list) -> None:
+    buckets = row.get("buckets")
+    counts = row.get("counts")
+    if not isinstance(buckets, list) or not all(
+            isinstance(b, (int, float)) for b in buckets):
+        errors.append(f"{where}: histogram 'buckets' must be a numeric "
+                      f"array")
+        return
+    if any(b >= buckets[i + 1] for i, b in enumerate(buckets[:-1])):
+        errors.append(f"{where}: histogram buckets must be strictly "
+                      f"increasing")
+    if not isinstance(counts, list) or not all(
+            isinstance(c, int) and not isinstance(c, bool) and c >= 0
+            for c in counts):
+        errors.append(f"{where}: histogram 'counts' must be an array of "
+                      f"non-negative integers")
+        return
+    if len(counts) != len(buckets) + 1:
+        errors.append(f"{where}: histogram has {len(counts)} counts for "
+                      f"{len(buckets)} buckets (want len(buckets)+1)")
+        return
+    total = row.get("count")
+    if isinstance(total, int) and total != sum(counts):
+        errors.append(f"{where}: histogram 'count' {total} != sum of "
+                      f"bucket counts {sum(counts)}")
+
+
 def validate_metrics_json(path) -> list:
-    """Structural check of a metrics snapshot file."""
+    """Structural + per-row check of a metrics snapshot file.  Error
+    messages carry the flattened record index (sorted component, then
+    sorted metric name — the snapshot's own serialization order) so a
+    failing record in a large snapshot is findable by position, not
+    just by name."""
     path = pathlib.Path(path)
     errors: list = []
     try:
@@ -182,18 +213,36 @@ def validate_metrics_json(path) -> list:
         return [f"{path}: invalid JSON ({exc})"]
     if not isinstance(payload, dict):
         return [f"{path}: top level must be an object"]
-    for component, metrics in payload.items():
+    index = 0
+    for component in sorted(payload):
+        metrics = payload[component]
         if not isinstance(metrics, dict):
             errors.append(f"{path}: component {component!r} must map to "
                           f"an object")
             continue
-        for name, row in metrics.items():
-            where = f"{path}:{component}.{name}"
+        for name in sorted(metrics):
+            row = metrics[name]
+            where = f"{path}: record {index} ({component}.{name})"
+            index += 1
             if not isinstance(row, dict) or "type" not in row:
                 errors.append(f"{where}: metric rows need a 'type'")
-            elif row["type"] not in ("counter", "gauge", "histogram"):
-                errors.append(f"{where}: unknown metric type "
-                              f"{row['type']!r}")
+                continue
+            kind = row["type"]
+            if kind not in ("counter", "gauge", "histogram"):
+                errors.append(f"{where}: unknown metric type {kind!r}")
+                continue
+            if kind in ("counter", "gauge"):
+                value = row.get("value")
+                if not isinstance(value, (int, float)) or \
+                        isinstance(value, bool):
+                    errors.append(f"{where}: {kind} 'value' must be "
+                                  f"numeric, got "
+                                  f"{type(value).__name__}")
+                elif kind == "counter" and value < 0:
+                    errors.append(f"{where}: counter 'value' must be "
+                                  f"non-negative, got {value}")
+            else:
+                _check_histogram_row(row, where, errors)
     return errors
 
 

@@ -38,10 +38,18 @@ class ObsSession:
     shared metrics registry.  Created via :func:`install`."""
 
     def __init__(self, trace: bool = False, metrics: bool = False,
-                 max_events: Optional[int] = None) -> None:
+                 max_events: Optional[int] = None,
+                 trace_sample_rate: int = 1) -> None:
+        if trace_sample_rate < 1:
+            raise ValueError(f"trace_sample_rate must be >= 1, got "
+                             f"{trace_sample_rate}")
         self.trace = trace
         self.metrics_enabled = metrics
         self.max_events = max_events
+        #: Record 1-in-N kernel dispatch events (see Tracer.sample_rate);
+        #: spans/instants/counters from instrumentation sites are never
+        #: sampled.
+        self.trace_sample_rate = int(trace_sample_rate)
         self.metrics = MetricsRegistry() if metrics else None
         #: simulator -> Tracer; keeps strong refs so id() reuse cannot
         #: alias two different simulators to one tracer.
@@ -61,7 +69,8 @@ class ObsSession:
             return
         pid = len(self._sim_tracers)
         tracer = Tracer(clock=lambda: sim.now, component=f"sim{pid}",
-                        pid=pid, **self._cap())
+                        pid=pid, sample_rate=self.trace_sample_rate,
+                        **self._cap())
         tracer.install_on(sim)
         self._sim_tracers[key] = (sim, tracer)
 
@@ -142,11 +151,13 @@ class ObsSession:
         return paths
 
     def stats(self) -> dict:
-        dropped = sum(t.dropped for t in self.all_tracers())
+        tracers = self.all_tracers()
         return {
-            "tracers": len(self.all_tracers()),
-            "events": sum(len(t) for t in self.all_tracers()),
-            "dropped": dropped,
+            "tracers": len(tracers),
+            "events": sum(len(t) for t in tracers),
+            "dropped": sum(t.dropped for t in tracers),
+            "trace_sample_rate": self.trace_sample_rate,
+            "sampled_out": sum(t.sampled_out for t in tracers),
         }
 
 
@@ -154,12 +165,14 @@ class ObsSession:
 # Module-level session management + hot-path accessors
 # ----------------------------------------------------------------------
 def install(trace: bool = False, metrics: bool = False,
-            max_events: Optional[int] = None) -> ObsSession:
+            max_events: Optional[int] = None,
+            trace_sample_rate: int = 1) -> ObsSession:
     """Install (and return) the process-wide session.  Replaces any
     previous session; simulators created afterwards self-attach."""
     global _SESSION
     _SESSION = ObsSession(trace=trace, metrics=metrics,
-                          max_events=max_events)
+                          max_events=max_events,
+                          trace_sample_rate=trace_sample_rate)
     return _SESSION
 
 

@@ -45,6 +45,9 @@ typedef struct {
     Py_ssize_t size;
     Py_ssize_t capacity;
     PyObject *trace_hook;  /* NULL or callable(time, priority, callback) */
+    long long trace_sample;      /* call the hook every Nth dispatch */
+    long long trace_skip;        /* dispatches until the next hook call */
+    long long trace_dispatches;  /* dispatches seen while a hook was set */
 } EventCore;
 
 static PyObject *SimulationError;  /* borrowed from repro.sim.errors at init */
@@ -171,6 +174,19 @@ key_priority(long long key)
     if (key >= 0)
         return key / PRI_SHIFT;
     return -((-key + PRI_SHIFT - 1) / PRI_SHIFT);
+}
+
+/* Per-dispatch hook gate: counts the dispatch and decides whether the
+ * sampling countdown lets this one through to the Python hook.  The
+ * skipped path is a decrement and a branch — no Python call at all. */
+static inline int
+trace_hook_due(EventCore *self)
+{
+    self->trace_dispatches++;
+    if (--self->trace_skip > 0)
+        return 0;
+    self->trace_skip = self->trace_sample;
+    return 1;
 }
 
 static int
@@ -359,7 +375,7 @@ fire_next(EventCore *self)
     self->now = t;
     self->fired++;
     self->live--;
-    if (self->trace_hook != NULL &&
+    if (self->trace_hook != NULL && trace_hook_due(self) &&
         call_trace_hook(self, t, key, cb) < 0) {
         Py_DECREF(cb);
         Py_XDECREF(cbargs);
@@ -473,7 +489,7 @@ core_run(EventCore *self, PyObject *const *args, Py_ssize_t nargs,
             self->fired++;
             self->live--;
             fired_here++;
-            if (self->trace_hook != NULL &&
+            if (self->trace_hook != NULL && trace_hook_due(self) &&
                 call_trace_hook(self, t, key, cb) < 0) {
                 Py_DECREF(cb);
                 Py_XDECREF(cbargs);
@@ -529,6 +545,23 @@ core_set_trace_hook(EventCore *self, PyObject *hook)
     Py_RETURN_NONE;
 }
 
+static PyObject *
+core_set_trace_sample(EventCore *self, PyObject *arg)
+{
+    long long rate = PyLong_AsLongLong(arg);
+
+    if (rate == -1 && PyErr_Occurred())
+        return NULL;
+    if (rate < 1) {
+        PyErr_Format(PyExc_ValueError,
+                     "sample rate must be >= 1, got %lld", rate);
+        return NULL;
+    }
+    self->trace_sample = rate;
+    self->trace_skip = rate;
+    Py_RETURN_NONE;
+}
+
 /* ------------------------------------------------------------------ */
 /* Type plumbing                                                       */
 /* ------------------------------------------------------------------ */
@@ -544,6 +577,9 @@ core_init(EventCore *self, PyObject *args, PyObject *kwargs)
     self->live = 0;
     self->seq = 0;
     self->running = 0;
+    self->trace_sample = 1;
+    self->trace_skip = 1;
+    self->trace_dispatches = 0;
     return 0;
 }
 
@@ -601,6 +637,9 @@ static PyMethodDef core_methods[] = {
      "Drop all pending events and rewind the clock."},
     {"_set_trace_hook", (PyCFunction)core_set_trace_hook, METH_O,
      "Install hook(time, priority, callback), or None to disable."},
+    {"_set_trace_sample", (PyCFunction)core_set_trace_sample, METH_O,
+     "Forward only every Nth dispatch to the trace hook (restarts the "
+     "countdown); trace_dispatches still counts every dispatch."},
     {NULL, NULL, 0, NULL},
 };
 
@@ -611,6 +650,10 @@ static PyMemberDef core_members[] = {
      "number of events dispatched so far"},
     {"pending", T_LONGLONG, offsetof(EventCore, live), READONLY,
      "number of live (non-cancelled, unfired) events"},
+    {"trace_dispatches", T_LONGLONG, offsetof(EventCore, trace_dispatches),
+     READONLY,
+     "dispatches that occurred while a trace hook was installed "
+     "(sampled or not); monotone across reset()"},
     {NULL, 0, 0, 0, NULL},
 };
 

@@ -46,7 +46,8 @@ class PyEventCore:
     cancellation and a fused pop+dispatch run loop."""
 
     __slots__ = ("now", "_heap", "_seq", "_fired", "_live", "_running",
-                 "_trace_hook")
+                 "_trace_hook", "_trace_sample", "_trace_skip",
+                 "trace_dispatches")
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -56,6 +57,14 @@ class PyEventCore:
         self._live = 0
         self._running = False
         self._trace_hook: Optional[Callable[[float, int, Any], None]] = None
+        #: Call the trace hook for every Nth dispatch only (see
+        #: :meth:`_set_trace_sample`); 1 == every dispatch.
+        self._trace_sample = 1
+        self._trace_skip = 1
+        #: Dispatches that occurred while a trace hook was installed,
+        #: whether or not sampling forwarded them to the hook.  Monotone
+        #: (survives :meth:`reset`) so observers can baseline against it.
+        self.trace_dispatches = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -155,7 +164,13 @@ class PyEventCore:
             self._live -= 1
             hook = self._trace_hook
             if hook is not None:
-                hook(entry[0], entry[1] // _PRI_SHIFT, cb)
+                self.trace_dispatches += 1
+                skip = self._trace_skip - 1
+                if skip:
+                    self._trace_skip = skip
+                else:
+                    self._trace_skip = self._trace_sample
+                    hook(entry[0], entry[1] // _PRI_SHIFT, cb)
             args = entry[3]
             if args:
                 cb(*args)
@@ -215,7 +230,13 @@ class PyEventCore:
                 self._live -= 1
                 fired_here += 1
                 if hook is not None:
-                    hook(entry[0], entry[1] // _PRI_SHIFT, cb)
+                    self.trace_dispatches += 1
+                    skip = self._trace_skip - 1
+                    if skip:
+                        self._trace_skip = skip
+                    else:
+                        self._trace_skip = self._trace_sample
+                        hook(entry[0], entry[1] // _PRI_SHIFT, cb)
                 args = entry[3]
                 if args:
                     cb(*args)
@@ -246,3 +267,13 @@ class PyEventCore:
     ) -> None:
         """Install ``hook(time, priority, callback)``, or ``None``."""
         self._trace_hook = hook
+
+    def _set_trace_sample(self, rate: int) -> None:
+        """Forward only every ``rate``-th dispatch to the trace hook
+        (the countdown restarts, so the next forwarded dispatch is
+        ``rate`` dispatches away).  ``trace_dispatches`` still counts
+        every dispatch, so sampling observers keep exact accounting."""
+        if rate < 1:
+            raise ValueError(f"sample rate must be >= 1, got {rate}")
+        self._trace_sample = rate
+        self._trace_skip = rate

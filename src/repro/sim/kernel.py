@@ -90,16 +90,36 @@ class _SimulatorMixin:
 
     def _refresh_dispatch_hook(self) -> None:
         hooks = self._dispatch_hooks
+        sample = 1
         if not hooks:
             self._set_trace_hook(None)
         elif len(hooks) == 1:
-            self._set_trace_hook(hooks[0])
+            hook = hooks[0]
+            # A lone sampling observer (the repro.obs tracer with
+            # trace_sample_rate=N) advertises its rate and an
+            # unsampled recording variant; when the core can filter
+            # dispatches itself, skipped events never cross into
+            # Python at all.  Multiplexed hooks (digest + tracer)
+            # can't use this — the digest needs every event — so the
+            # fan-out path leaves the observer's own sampling in
+            # charge.
+            rate = getattr(hook, "dispatch_sample_rate", 1)
+            unsampled = getattr(hook, "unsampled", None)
+            if rate > 1 and unsampled is not None and \
+                    hasattr(self, "_set_trace_sample"):
+                self._set_trace_hook(unsampled)
+                sample = rate
+            else:
+                self._set_trace_hook(hook)
         else:
             def fanout(time: float, priority: int, callback: Any,
                        _hooks=hooks) -> None:
                 for observer in _hooks:
                     observer(time, priority, callback)
             self._set_trace_hook(fanout)
+        setter = getattr(self, "_set_trace_sample", None)
+        if setter is not None:
+            setter(sample)
 
     # ------------------------------------------------------------------
     # Determinism tracing (see repro.lint.determinism)

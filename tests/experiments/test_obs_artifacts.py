@@ -111,3 +111,50 @@ def test_failed_run_exports_nothing(tmp_path):
     assert outcome.extras == []
     assert not (tmp_path / "boom.trace.jsonl").exists()
     assert obs.session() is None
+
+
+def test_report_flag_renders_markdown_next_to_the_table(tmp_path):
+    outcome = run_task(
+        "table5", 0, False, False, 0, str(tmp_path),
+        registry={"table5": lambda seed=0: table5.run(payload_bits=16,
+                                                      seed=seed)},
+        trace=True, metrics=True, report=True,
+    )
+    assert outcome.ok, outcome.error
+    report = tmp_path / "table5.report.md"
+    assert str(report) in outcome.extras
+    text = report.read_text()
+    assert text.startswith("# repro run report")
+    assert "## table5" in text
+    assert "### Span latency" in text
+
+
+def test_cli_report_flag(tmp_path):
+    code = main(["table5", "--smoke", "--trace", "--report",
+                 "--out", str(tmp_path)])
+    assert code == 0
+    assert (tmp_path / "table5.report.md").exists()
+
+
+def test_trace_sample_writes_fewer_dispatch_records(tmp_path):
+    registry = {"table5": lambda seed=0: table5.run(payload_bits=16,
+                                                    seed=seed)}
+    full = run_task("table5", 0, False, False, 0,
+                    str(tmp_path / "full"), registry=registry, trace=True)
+    sampled = run_task("table5", 0, False, False, 0,
+                       str(tmp_path / "sampled"), registry=registry,
+                       trace=True, trace_sample=100)
+    assert full.ok and sampled.ok
+
+    def dispatch_count(path):
+        return sum(1 for line in path.read_text().splitlines()
+                   if json.loads(line).get("cat") == "dispatch")
+
+    full_count = dispatch_count(tmp_path / "full" / "table5.trace.jsonl")
+    sampled_count = dispatch_count(
+        tmp_path / "sampled" / "table5.trace.jsonl")
+    # each tracer floors its own 1-in-100 count, so the merged total
+    # sits just below full/100
+    assert full_count // 100 - 10 <= sampled_count <= full_count // 100
+    # both artifacts remain schema-valid
+    assert validate_path(tmp_path / "sampled" / "table5.trace.jsonl") == []

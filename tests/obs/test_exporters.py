@@ -111,3 +111,95 @@ def test_cli_validates_and_reports(tmp_path, capsys):
     assert obs_cli.main(["validate", str(bad), str(missing)]) == 1
     out = capsys.readouterr().out
     assert "invalid JSON" in out and "no such file" in out
+
+
+# ----------------------------------------------------------------------
+# Edge cases: empty exports, cap overflow, zero-duration spans, and
+# record-indexed metrics errors
+# ----------------------------------------------------------------------
+def test_empty_jsonl_export_is_well_formed_but_invalid(tmp_path):
+    """Exporting zero events writes an empty file the validator
+    rejects — which is why ObsSession.export omits empty traces."""
+    path = write_jsonl([], tmp_path / "none.trace.jsonl")
+    assert path.read_text() == ""
+    assert validate_trace_jsonl(path) == [f"{path}: empty trace"]
+
+
+def test_drop_counter_overflow_still_exports_valid_trace(tmp_path):
+    """A tracer saturated far past its cap must still export a
+    schema-valid (truncated) timeline with exact drop accounting."""
+    from repro.obs.tracer import Tracer
+
+    tracer = Tracer(clock=lambda: 0.0, max_events=5)
+    hook = tracer.make_dispatch_hook()
+    for t in range(10_000):
+        hook(float(t), 0, test_drop_counter_overflow_still_exports_valid_trace)
+    assert len(tracer.events) == 5
+    assert tracer.dropped == 9_995
+    assert tracer.dispatches_seen == 10_000
+    path = write_jsonl(tracer.events, tmp_path / "cap.trace.jsonl")
+    assert validate_trace_jsonl(path) == []
+
+
+def test_zero_duration_chrome_spans_validate(tmp_path):
+    """Instantaneous spans (admit == finish) are legal in both
+    formats: dur 0 is non-negative, and Chrome keeps the 'dur' key."""
+    events = [TraceEvent("noop", PHASE_SPAN, 1000.0, "rnic", dur=0.0)]
+    jsonl = write_jsonl(events, tmp_path / "z.trace.jsonl")
+    assert validate_trace_jsonl(jsonl) == []
+    chrome = write_chrome_trace(events, tmp_path / "z.trace.json")
+    assert validate_chrome_trace(chrome) == []
+    span = next(e for e in json.loads(chrome.read_text())["traceEvents"]
+                if e["ph"] == "X")
+    assert span["dur"] == 0.0
+
+
+def test_metrics_validator_names_the_offending_record(tmp_path):
+    path = tmp_path / "bad.metrics.json"
+    path.write_text(json.dumps({
+        "b_comp": {"ok_gauge": {"type": "gauge", "value": 1.5}},
+        "a_comp": {
+            "bad_counter": {"type": "counter", "value": -3},
+            "bad_value": {"type": "gauge", "value": "high"},
+        },
+    }))
+    errors = validate_metrics_json(path)
+    # flattened index: sorted components, sorted names within each
+    assert any("record 0 (a_comp.bad_counter)" in e and "non-negative" in e
+               for e in errors)
+    assert any("record 1 (a_comp.bad_value)" in e and "numeric" in e
+               for e in errors)
+    assert not any("record 2" in e for e in errors)  # the gauge is fine
+
+
+def test_metrics_validator_rejects_bool_and_bad_histograms(tmp_path):
+    path = tmp_path / "hist.metrics.json"
+    path.write_text(json.dumps({
+        "sim": {
+            "flag": {"type": "gauge", "value": True},
+            "h_counts": {"type": "histogram", "count": 2, "sum": 1.0,
+                         "buckets": [1.0, 2.0], "counts": [1, 1]},
+            "h_order": {"type": "histogram", "count": 1, "sum": 1.0,
+                        "buckets": [2.0, 1.0], "counts": [1, 0, 0]},
+            "h_total": {"type": "histogram", "count": 9, "sum": 1.0,
+                        "buckets": [1.0], "counts": [1, 1]},
+        },
+    }))
+    errors = validate_metrics_json(path)
+    assert any("(sim.flag)" in e and "numeric" in e for e in errors)
+    assert any("(sim.h_counts)" in e and "len(buckets)+1" in e
+               for e in errors)
+    assert any("(sim.h_order)" in e and "strictly" in e for e in errors)
+    assert any("(sim.h_total)" in e and "sum of" in e for e in errors)
+
+
+def test_metrics_validator_accepts_real_histogram_snapshot(tmp_path):
+    from repro.obs.metrics import Histogram
+
+    hist = Histogram(buckets=(10.0, 100.0))
+    hist.observe(5.0)
+    hist.observe(50.0)
+    hist.observe(500.0)
+    path = write_metrics_json({"sim": {"lat": hist.snapshot()}},
+                              tmp_path / "real.metrics.json")
+    assert validate_metrics_json(path) == []

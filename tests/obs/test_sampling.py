@@ -1,0 +1,116 @@
+"""Sampled dispatch tracing: 1-in-N recording with exact accounting."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro import obs
+from repro.obs.tracer import Tracer
+from repro.sim import Simulator
+
+
+@pytest.fixture(autouse=True)
+def clean_session():
+    yield
+    obs.uninstall()
+
+
+def _dispatch(sim, count):
+    for t in range(count):
+        sim.schedule(float(t + 1), lambda: None)
+    sim.run()
+
+
+def test_sample_rate_validation():
+    with pytest.raises(ValueError):
+        Tracer(clock=lambda: 0.0, sample_rate=0)
+    with pytest.raises(ValueError):
+        obs.ObsSession(trace=True, trace_sample_rate=0)
+    with pytest.raises(ValueError):
+        obs.install(trace=True, trace_sample_rate=-3)
+
+
+def test_rate_one_records_every_dispatch():
+    obs.install(trace=True)
+    sim = Simulator()
+    _dispatch(sim, 10)
+    tracer = obs.tracer_for(sim)
+    assert len(tracer.events) == 10
+    assert tracer.dispatches_seen == 10
+    assert tracer.sampled_out == 0
+
+
+def test_sampled_dispatch_exact_accounting():
+    obs.install(trace=True, trace_sample_rate=4)
+    sim = Simulator()
+    _dispatch(sim, 103)
+    tracer = obs.tracer_for(sim)
+    # every 4th dispatch recorded: floor(103 / 4) = 25
+    assert len(tracer.events) == 25
+    assert tracer.dispatches_seen == 103
+    assert tracer.sampled_out == 78
+    # the accounting identity: nothing is silently lost
+    assert tracer.dispatches_seen == \
+        tracer.sampled_out + len(tracer.events) + tracer.dropped
+    # recorded timestamps are the Nth dispatches
+    assert [e.ts for e in tracer.events[:3]] == [4.0, 8.0, 12.0]
+
+
+def test_sampling_only_gates_the_dispatch_hook():
+    obs.install(trace=True, trace_sample_rate=1000)
+    sim = Simulator()
+    tracer = obs.tracer_for(sim)
+    tracer.instant("covert.bit", ts=1.0)
+    tracer.span("wqe", start=2.0, dur=3.0)
+    tracer.counter("bw", {"bps": 1.0}, ts=4.0)
+    _dispatch(sim, 10)
+    # explicit instrumentation always lands; all 10 dispatches sampled out
+    assert len(tracer.events) == 3
+    assert tracer.sampled_out == 10
+
+
+def test_stats_surface_sampling_counters():
+    session = obs.install(trace=True, trace_sample_rate=5)
+    sim = Simulator()
+    _dispatch(sim, 20)
+    tracer = obs.tracer_for(sim)
+    assert tracer.stats() == {
+        "events": 4, "dropped": 0, "max_events": tracer.max_events,
+        "sample_rate": 5, "dispatches_seen": 20, "sampled_out": 16,
+    }
+    stats = session.stats()
+    assert stats["trace_sample_rate"] == 5
+    assert stats["sampled_out"] == 16
+    assert stats["events"] == 4
+
+
+def test_sampled_trace_is_deterministic():
+    outcomes = []
+    for _ in range(2):
+        obs.install(trace=True, trace_sample_rate=3)
+        sim = Simulator()
+        _dispatch(sim, 30)
+        tracer = obs.tracer_for(sim)
+        outcomes.append([(e.name, e.ts) for e in tracer.events])
+        obs.uninstall()
+    assert outcomes[0] == outcomes[1]
+    assert len(outcomes[0]) == 10
+
+
+def test_cli_trace_sample_implies_trace(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "table5", "--smoke",
+         "--trace-sample", "50", "--out", str(tmp_path)],
+        capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+    assert (tmp_path / "table5.trace.jsonl").exists()
+
+
+def test_cli_rejects_bad_sample_rate(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "table5", "--smoke",
+         "--trace-sample", "0", "--out", str(tmp_path)],
+        capture_output=True, text=True)
+    assert proc.returncode != 0
+    assert "trace-sample" in proc.stderr

@@ -66,7 +66,9 @@ def test_cap_drops_past_max_events():
         tracer.instant(f"e{i}", ts=float(i))
     assert len(tracer) == 2
     assert tracer.dropped == 3
-    assert tracer.stats() == {"events": 2, "dropped": 3, "max_events": 2}
+    assert tracer.stats() == {"events": 2, "dropped": 3, "max_events": 2,
+                              "sample_rate": 1, "dispatches_seen": 0,
+                              "sampled_out": 0}
 
 
 def test_max_events_must_be_positive():

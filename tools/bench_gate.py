@@ -224,6 +224,8 @@ def bench_obs_overhead() -> dict:
       cost if the observability layer did not exist.
     * ``tracing`` — a full ``trace=True`` session recording every
       dispatch (advisory; expected to be slower).
+    * ``sampling`` — a ``trace_sample_rate=100`` session recording
+      1-in-100 dispatches (advisory; the cheap way to trace long runs).
     """
     obs.uninstall()  # belt and braces: measure the true disabled path
     disabled_s, reference_s = _paired_min_seconds(
@@ -237,7 +239,18 @@ def bench_obs_overhead() -> dict:
         finally:
             obs.uninstall()
 
+    sampling_rate = 100
+
+    def sampled():
+        obs.install(trace=True, max_events=OBS_EVENTS + 16,
+                    trace_sample_rate=sampling_rate)
+        try:
+            _dispatch_workload(Simulator)()
+        finally:
+            obs.uninstall()
+
     tracing_s = _min_seconds(traced, repeats=3)
+    sampling_s = _min_seconds(sampled, repeats=3)
     overhead = max(0.0, disabled_s / reference_s - 1.0)
     return {
         "events": OBS_EVENTS,
@@ -246,6 +259,9 @@ def bench_obs_overhead() -> dict:
         "disabled_overhead": round(overhead, 4),
         "tracing_ops_per_s": round(OBS_EVENTS / tracing_s, 1),
         "tracing_slowdown": round(tracing_s / disabled_s, 2),
+        "sampling_rate": sampling_rate,
+        "sampling_ops_per_s": round(OBS_EVENTS / sampling_s, 1),
+        "sampling_slowdown": round(sampling_s / disabled_s, 2),
     }
 
 
@@ -263,6 +279,9 @@ def obs_gate(report: dict, tolerance: float) -> int:
     print(f"  obs tracing-enabled (advisory): "
           f"{section['tracing_ops_per_s']:,.0f} ops/s "
           f"({section['tracing_slowdown']:.2f}x disabled)")
+    print(f"  obs sampled 1-in-{section['sampling_rate']} (advisory): "
+          f"{section['sampling_ops_per_s']:,.0f} ops/s "
+          f"({section['sampling_slowdown']:.2f}x disabled)")
     if verdict == "FAIL":
         print(f"bench_gate: repro.obs costs more than {tolerance:.0%} "
               f"on event dispatch with tracing disabled")
@@ -337,7 +356,22 @@ def main(argv=None) -> int:
                         help="emit the report without comparing")
     parser.add_argument("--update-baseline", action="store_true",
                         help="write the report as the new baseline")
+    parser.add_argument("--history-dir", type=pathlib.Path,
+                        default=REPO / "benchmarks" / "history",
+                        help="where --run-id archives reports "
+                             "(default: benchmarks/history)")
+    parser.add_argument("--run-id", default=None,
+                        help="archive the report as "
+                             "<history-dir>/<run-id>.json; pass a "
+                             "caller-generated timestamp (the benches "
+                             "themselves never read the wall clock). "
+                             "python -m repro.obs report --history "
+                             "renders trend lines from the two most "
+                             "recent archives")
     args = parser.parse_args(argv)
+    if args.run_id is not None and (
+            "/" in args.run_id or not args.run_id.strip()):
+        parser.error("--run-id must be a non-empty file-name fragment")
     if not 0.0 < args.tolerance < 1.0:
         parser.error("--tolerance must be in (0, 1)")
     if not 0.0 < args.obs_tolerance < 1.0:
@@ -347,6 +381,11 @@ def main(argv=None) -> int:
     report = run_benches()
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"bench_gate: wrote {args.out}")
+    if args.run_id is not None:
+        args.history_dir.mkdir(parents=True, exist_ok=True)
+        archive = args.history_dir / f"{args.run_id}.json"
+        archive.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"bench_gate: archived {archive}")
     if args.update_baseline:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
         args.baseline.write_text(json.dumps(report, indent=2) + "\n")

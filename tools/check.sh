@@ -17,14 +17,21 @@
 #   5. obs smoke     — BLOCKING: one experiment under --trace
 #                      --metrics, artifacts schema-validated with
 #                      `python -m repro.obs validate` (docs/OBSERVABILITY.md)
-#   6. speedups      — ADVISORY: build the C event-kernel accelerator
+#   6. insight       — BLOCKING: a sampled-trace table5 run rendered
+#                      with `python -m repro.obs report` and diffed
+#                      byte-for-byte against the committed golden
+#                      (tests/obs/golden/table5.report.md), then
+#                      `python -m repro.obs diff` of the run against
+#                      itself (must exit 0)
+#   7. speedups      — ADVISORY: build the C event-kernel accelerator
 #                      (repro.sim falls back to pure Python without it)
-#   7. bench gate    — BLOCKING: simulator throughput vs the committed
+#   8. bench gate    — BLOCKING: simulator throughput vs the committed
 #                      baseline (docs/PERF.md); fails on a >20 %
 #                      event-dispatch regression (skips on engine
 #                      mismatch) or a >2 % tracing-disabled
-#                      observability overhead
-#   8. pytest tier-1 — BLOCKING: the full unit/integration suite
+#                      observability overhead; each run is archived to
+#                      benchmarks/history/ for report trend lines
+#   9. pytest tier-1 — BLOCKING: the full unit/integration suite
 set -u
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -63,11 +70,20 @@ python -m repro.experiments table1 --trace --metrics --out "$obs_out" || fail=1
 python -m repro.obs validate "$obs_out/table1.trace.jsonl" \
     "$obs_out/table1.trace.json" "$obs_out/table1.metrics.json" || fail=1
 
+echo "== run-report insight stage (blocking) =="
+insight_out="$(mktemp -d)"
+python -m repro.experiments table5 --smoke --trace-sample 100 --metrics \
+    --out "$insight_out" || fail=1
+python -m repro.obs report "$insight_out" --out "$insight_out/run.report.md" || fail=1
+diff -u tests/obs/golden/table5.report.md "$insight_out/run.report.md" \
+    || { echo "-- run report drifted from the committed golden (regenerate via docs/OBSERVABILITY.md)"; fail=1; }
+python -m repro.obs diff "$insight_out" "$insight_out" || fail=1
+
 echo "== C event-kernel build (advisory) =="
 tools/build_speedups.sh || echo "-- C accelerator unavailable; pure-Python kernel in use"
 
 echo "== simulator benchmark gate (blocking) =="
-python tools/bench_gate.py || fail=1
+python tools/bench_gate.py --run-id "$(date -u +%Y%m%dT%H%M%SZ)" || fail=1
 
 if [ "$fast" -eq 0 ]; then
     echo "== pytest tier-1 (blocking) =="
