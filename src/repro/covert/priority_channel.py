@@ -93,6 +93,9 @@ class PriorityChannel:
 
         samples: list[tuple[float, float]] = []
         obs = _obs.tracer_for(cluster.sim)
+        # pending-sample handle, cancelled after the run so the sampler
+        # chain cannot outlive the transmission (see RAG104)
+        pending: list = [None]
 
         def sample_bandwidth() -> None:
             bandwidth = rnic.fluid_bandwidth(monitor_flow)
@@ -100,9 +103,11 @@ class PriorityChannel:
             if obs is not None:
                 obs.counter("covert.rx_bandwidth", {"bps": bandwidth},
                             category="covert", component="covert.rx")
-            cluster.sim.schedule(cfg.sample_interval_ns, sample_bandwidth)
+            pending[0] = cluster.sim.schedule(
+                cfg.sample_interval_ns, sample_bandwidth)
 
-        cluster.sim.schedule(cfg.sample_interval_ns, sample_bandwidth)
+        pending[0] = cluster.sim.schedule(
+            cfg.sample_interval_ns, sample_bandwidth)
 
         # Tx: swap the bulk write flow at each symbol boundary
         current_flow: list[Optional[FluidFlow]] = [None]
@@ -129,6 +134,8 @@ class PriorityChannel:
             cluster.sim.schedule(index * cfg.bit_period_ns, set_bit, bit)
         end = start + len(bits) * cfg.bit_period_ns
         cluster.sim.run(until=end)
+        if pending[0] is not None:
+            cluster.sim.cancel(pending[0])
 
         decoded = decode_windows(
             samples, start, cfg.bit_period_ns, len(bits), high_is_one=True
@@ -160,12 +167,15 @@ class PriorityChannel:
         )
         rnic.add_fluid_flow(monitor_flow)
         samples: list[tuple[float, float]] = []
+        pending: list = [None]
 
         def sample_bandwidth() -> None:
             samples.append((cluster.sim.now, rnic.fluid_bandwidth(monitor_flow)))
-            cluster.sim.schedule(cfg.sample_interval_ns, sample_bandwidth)
+            pending[0] = cluster.sim.schedule(
+                cfg.sample_interval_ns, sample_bandwidth)
 
-        cluster.sim.schedule(cfg.sample_interval_ns, sample_bandwidth)
+        pending[0] = cluster.sim.schedule(
+            cfg.sample_interval_ns, sample_bandwidth)
         current: list[Optional[FluidFlow]] = [None]
 
         def set_bit(bit: int) -> None:
@@ -180,4 +190,6 @@ class PriorityChannel:
         for index, bit in enumerate(bits):
             cluster.sim.schedule(index * cfg.bit_period_ns, set_bit, bit)
         cluster.sim.run(until=len(bits) * cfg.bit_period_ns)
+        if pending[0] is not None:
+            cluster.sim.cancel(pending[0])
         return samples

@@ -17,6 +17,7 @@ from repro.defense.partition import PARTITION_OVERHEAD_NS, PartitionedTranslatio
 from repro.experiments.result import ExperimentResult
 from repro.rnic.spec import cx5
 from repro.rnic.translation import TranslationUnit
+from repro.sim.random import RandomStreams
 from repro.sim.units import MILLISECONDS
 
 
@@ -48,6 +49,9 @@ def run_noise(scales=(0.0, 1.0, 2.0, 4.0, 8.0), payload_bits: int = 96,
 def run_partition(seed: int = 0) -> ExperimentResult:
     """Partitioning: cross-tenant signal vs solo-tenant slowdown."""
     spec = dataclasses.replace(cx5(), jitter_frac=0.0, spike_prob=0.0)
+    # all unit RNGs derive from the experiment seed; the coupling
+    # probes use reset() so both fresh units replay the same sequence
+    streams = RandomStreams(seed)
 
     def coupling(make_admit) -> float:
         """Probe latency with vs without a victim hammering the
@@ -68,14 +72,18 @@ def run_partition(seed: int = 0) -> ExperimentResult:
 
     shared = coupling(
         lambda: (
-            lambda t, off, tenant, unit=TranslationUnit(spec):
+            lambda t, off, tenant,
+            unit=TranslationUnit(
+                spec, rng=streams.reset("mitigation.coupling")):
             unit.admit(t, "mr", off, 64)[0]
         )
     )
     partitioned = coupling(
         lambda: (
             lambda t, off, tenant,
-            unit=PartitionedTranslationUnit(spec, num_partitions=2):
+            unit=PartitionedTranslationUnit(
+                spec, num_partitions=2,
+                rng=streams.reset("mitigation.coupling")):
             unit.admit(t, "mr", off, 64, tenant=tenant)[0]
         )
     )
@@ -87,9 +95,10 @@ def run_partition(seed: int = 0) -> ExperimentResult:
             now = admit(now, (i * 64) % 8192)
         return now
 
-    unit_a = TranslationUnit(spec)
+    unit_a = TranslationUnit(spec, rng=streams.stream("mitigation.solo"))
     solo_shared = stream_time(lambda t, off: unit_a.admit(t, "mr", off, 64)[0])
-    unit_b = PartitionedTranslationUnit(spec, num_partitions=8)
+    unit_b = PartitionedTranslationUnit(
+        spec, num_partitions=8, rng=streams.stream("mitigation.solo.part"))
     solo_part = stream_time(
         lambda t, off: unit_b.admit(t, "mr", off, 64, tenant="a")[0]
     )

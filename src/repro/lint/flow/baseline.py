@@ -1,0 +1,85 @@
+"""Committed baseline of sanctioned flow findings.
+
+A whole-program pass over a living codebase always has a tail of
+findings that are understood and accepted (documented default-seed
+fallbacks, intentionally process-wide registries).  Rather than
+littering source lines with suppression comments, those are recorded
+once in ``tools/flow_baseline.json``, keyed by the *fingerprint*
+``(rule_id, module_path, function_qualname, key)`` — deliberately free
+of line numbers so unrelated edits to a file do not invalidate it.
+
+Workflow (docs/LINT.md has the long version):
+
+* ``python -m repro.lint --flow src/repro`` — findings not in the
+  baseline fail the run;
+* fix the finding, or consciously accept it with
+  ``--flow --update-baseline``;
+* the diff of ``tools/flow_baseline.json`` is then reviewed like any
+  other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, Optional
+
+BASELINE_SCHEMA = 1
+
+Fingerprint = tuple[str, str, str, str]
+
+
+class Baseline:
+    """A set of sanctioned finding fingerprints."""
+
+    def __init__(self, fingerprints: Iterable[Fingerprint] = ()) -> None:
+        self._fingerprints: set[Fingerprint] = {
+            tuple(fp) for fp in fingerprints  # type: ignore[misc]
+        }
+
+    def matches(self, fingerprint: Fingerprint) -> bool:
+        return tuple(fingerprint) in self._fingerprints
+
+    def add(self, fingerprint: Fingerprint) -> None:
+        self._fingerprints.add(tuple(fingerprint))
+
+    def __len__(self) -> int:
+        return len(self._fingerprints)
+
+    def __iter__(self):
+        return iter(sorted(self._fingerprints))
+
+    def save(self, path: pathlib.Path) -> None:
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "findings": [
+                {"rule": fp[0], "module": fp[1], "function": fp[2],
+                 "key": fp[3]}
+                for fp in sorted(self._fingerprints)
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+
+def load_baseline(path: pathlib.Path) -> Optional[Baseline]:
+    """Load a baseline file; ``None`` when missing or unreadable (the
+    caller decides whether that is an error)."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        return None
+    baseline = Baseline()
+    for entry in data.get("findings", ()):
+        if not isinstance(entry, dict):
+            continue
+        baseline.add((str(entry.get("rule", "")),
+                      str(entry.get("module", "")),
+                      str(entry.get("function", "")),
+                      str(entry.get("key", ""))))
+    return baseline
+
+
+__all__ = ["BASELINE_SCHEMA", "Baseline", "Fingerprint", "load_baseline"]

@@ -1,0 +1,83 @@
+"""Incremental fact cache for the flow pass.
+
+Per-file :class:`FileFacts` keyed by content SHA-256 — extraction (the
+AST pass) is the expensive step, and it is purely file-local, so a
+content hit is always sound to reuse.  Linking and the analyses are
+*never* cached: they are whole-program, so any edit anywhere can change
+any finding.
+
+The cache is one JSON file (default ``.lint_flow_cache.json`` at the
+repo root, gitignored).  A schema-version mismatch or unreadable file
+degrades to a cold run, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Optional
+
+from repro.lint.flow.facts import FACTS_SCHEMA_VERSION, FileFacts
+
+DEFAULT_CACHE_NAME = ".lint_flow_cache.json"
+
+
+def _digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class FactsCache:
+    """Content-hash-keyed store of extracted file facts."""
+
+    def __init__(self, path: Optional[pathlib.Path] = None) -> None:
+        self.path = pathlib.Path(path) if path is not None else None
+        self._entries: dict[str, dict] = {}
+        self._dirty = False
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) or \
+                data.get("schema") != FACTS_SCHEMA_VERSION:
+            return  # stale schema: cold run
+        entries = data.get("files")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def lookup(self, path: str, source: str) -> Optional[FileFacts]:
+        entry = self._entries.get(path)
+        if entry is None or entry.get("sha256") != _digest(source):
+            return None
+        try:
+            return FileFacts.from_dict(entry["facts"])
+        except (KeyError, TypeError):
+            return None
+
+    def store(self, path: str, source: str, facts: FileFacts) -> None:
+        self._entries[path] = {
+            "sha256": _digest(source),
+            "facts": facts.to_dict(),
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        payload = {"schema": FACTS_SCHEMA_VERSION, "files": self._entries}
+        try:
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8")
+        except OSError:
+            return  # cache is best-effort
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+__all__ = ["DEFAULT_CACHE_NAME", "FactsCache"]

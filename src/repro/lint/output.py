@@ -1,0 +1,106 @@
+"""Machine-readable finding output, shared by both lint paths.
+
+``python -m repro.lint`` (per-file rules) and ``--flow`` (whole-program
+analyses) both emit findings through this module, so CI annotation
+tooling sees one schema regardless of which pass produced a finding.
+
+Two formats:
+
+* **json** — the repo's own compact schema (stable keys, no nesting
+  beyond the finding list);
+* **sarif** — minimal SARIF 2.1.0, enough for code-scanning UIs:
+  one run, one driver, per-rule metadata, physical locations with
+  1-based lines/columns.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping, Optional
+
+from repro.lint.engine import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: Map repo severities onto the SARIF ``level`` enum.
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def findings_to_json(findings: Iterable[Finding], *,
+                     files_scanned: int = 0,
+                     extra: Optional[Mapping[str, object]] = None) -> str:
+    """The repo's own JSON schema (one object, ``findings`` list)."""
+    items = list(findings)
+    payload: dict[str, object] = {
+        "files_scanned": files_scanned,
+        "findings": [f.to_dict() for f in items],
+        "clean": not any(not f.suppressed for f in items),
+    }
+    if extra:
+        payload.update(extra)
+    return json.dumps(payload, indent=2)
+
+
+def findings_to_sarif(findings: Iterable[Finding], *,
+                      rule_titles: Optional[Mapping[str, str]] = None,
+                      tool_name: str = "repro.lint") -> str:
+    """Minimal SARIF 2.1.0 for CI code-scanning annotations."""
+    items = list(findings)
+    titles = dict(rule_titles or {})
+    used_rules = sorted({f.rule_id for f in items})
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": titles.get(rule_id, rule_id),
+            },
+        }
+        for rule_id in used_rules
+    ]
+    rule_ranks = {rule_id: pos for pos, rule_id in enumerate(used_rules)}
+    results = []
+    for finding in items:
+        result: dict[str, object] = {
+            "ruleId": finding.rule_id,
+            "ruleIndex": rule_ranks[finding.rule_id],
+            "level": _SARIF_LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    },
+                }
+            ],
+        }
+        if finding.suppressed:
+            result["suppressions"] = [{"kind": "inSource"}]
+        results.append(result)
+    sarif = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "rules": rules,
+                    },
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2)
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "findings_to_json",
+           "findings_to_sarif"]

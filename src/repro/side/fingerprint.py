@@ -174,6 +174,10 @@ class ShuffleJoinFingerprinter:
 
         detections: list[tuple[str, float]] = []
         cooldown_until: dict[str, float] = {}
+        # pending-cycle handle, cancelled after the run: a dropped
+        # handle would leave the last reschedule live in the queue,
+        # leaking attacker events into any later run on this cluster
+        pending: list = [None]
 
         def detect_cycle() -> None:
             window = monitor.values[-self.window_samples:]
@@ -186,11 +190,14 @@ class ShuffleJoinFingerprinter:
                     cooldown_until[pattern] = now + self.window_samples * \
                         SAMPLE_INTERVAL_NS * 0.8
             if now < horizon:
-                cluster.sim.schedule(5 * SAMPLE_INTERVAL_NS, detect_cycle)
+                pending[0] = cluster.sim.schedule(
+                    5 * SAMPLE_INTERVAL_NS, detect_cycle)
 
-        cluster.sim.schedule(self.window_samples * SAMPLE_INTERVAL_NS / 2,
-                             detect_cycle)
+        pending[0] = cluster.sim.schedule(
+            self.window_samples * SAMPLE_INTERVAL_NS / 2, detect_cycle)
         cluster.run_for(horizon)
+        if pending[0] is not None:
+            cluster.sim.cancel(pending[0])
         return FingerprintResult(
             detections=tuple(detections),
             truth=tuple(truth),

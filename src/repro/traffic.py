@@ -93,7 +93,11 @@ class ClosedLoopClient(_StatsMixin):
         self.mr = mr
         self.mix = mix if mix is not None else WorkloadMix()
         self.depth = depth
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        # default stream is derived from the cluster seed (host names,
+        # not qp numbers: those come from a process-wide counter), so
+        # two experiment seeds never share one "random" workload
+        self.rng = rng if rng is not None else conn.cluster.sim.random.stream(
+            f"traffic.closed.{conn.client.name}->{conn.server.name}")
         self._running = False
         if conn.cq.on_completion is not None:
             raise RuntimeError("connection CQ already has a callback")
@@ -137,7 +141,8 @@ class OpenLoopClient(_StatsMixin):
         self.mr = mr
         self.rate_per_sec = rate_per_sec
         self.mix = mix if mix is not None else WorkloadMix()
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else conn.cluster.sim.random.stream(
+            f"traffic.open.{conn.client.name}->{conn.server.name}")
         self.overruns = 0
         self._running = False
         # pending-arrival handle: stop() cancels it so a stop->start

@@ -1,0 +1,5 @@
+from repro import util
+
+
+def run(sim):
+    return util.jitter(sim.random.stream("demo"))

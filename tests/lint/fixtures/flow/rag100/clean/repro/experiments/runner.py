@@ -1,0 +1,8 @@
+"""Clean twin: the same shape, randomness from a named stream."""
+from repro.experiments import demo
+
+REGISTRY = {"demo": demo.run}
+
+
+def run_task(name, sim):
+    return REGISTRY[name](sim)

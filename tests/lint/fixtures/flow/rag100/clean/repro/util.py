@@ -1,0 +1,2 @@
+def jitter(stream):
+    return stream.random()

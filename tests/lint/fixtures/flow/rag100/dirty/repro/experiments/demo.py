@@ -1,0 +1,5 @@
+from repro import util
+
+
+def run():
+    return util.jitter()

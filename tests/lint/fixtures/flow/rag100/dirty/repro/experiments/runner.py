@@ -1,0 +1,8 @@
+"""Fixture: registry dispatch reaching a tainted helper two hops away."""
+from repro.experiments import demo
+
+REGISTRY = {"demo": demo.run}
+
+
+def run_task(name):
+    return REGISTRY[name]()

@@ -1,0 +1,5 @@
+import random
+
+
+def jitter():
+    return random.random()  # process-global RNG, two hops below run_task

@@ -1,0 +1,7 @@
+"""Fixture: an experiment constructing a seedless Generator."""
+import numpy as np
+
+
+def run_task(name):
+    rng = np.random.default_rng()  # seedless: not replayable
+    return rng.random()

@@ -1,0 +1,9 @@
+_RESULTS = {}
+
+
+def put(key, value):
+    _RESULTS[key] = value
+
+
+def reset():
+    _RESULTS.clear()

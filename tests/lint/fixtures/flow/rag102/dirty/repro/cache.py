@@ -1,0 +1,5 @@
+_RESULTS = {}
+
+
+def put(key, value):
+    _RESULTS[key] = value  # survives into the next task on this worker

@@ -1,0 +1,7 @@
+"""Fixture: run_task fills a module-level cache and never resets it."""
+from repro import cache
+
+
+def run_task(name):
+    cache.put(name, 1.0)
+    return name

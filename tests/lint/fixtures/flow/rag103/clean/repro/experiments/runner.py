@@ -1,0 +1,10 @@
+"""Clean twin: install/uninstall bracket every task."""
+from repro import state
+
+
+def run_task(name):
+    state.install(name)
+    try:
+        return name
+    finally:
+        state.uninstall()

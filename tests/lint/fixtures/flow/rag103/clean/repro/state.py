@@ -1,0 +1,11 @@
+_SESSION = None
+
+
+def install(session):
+    global _SESSION
+    _SESSION = session
+
+
+def uninstall():
+    global _SESSION
+    _SESSION = None

@@ -1,0 +1,7 @@
+"""Fixture: install() with no uninstall on the task path."""
+from repro import state
+
+
+def run_task(name):
+    state.install(name)
+    return name

@@ -1,0 +1,6 @@
+_SESSION = None
+
+
+def install(session):
+    global _SESSION
+    _SESSION = session  # never uninstalled: leaks across tasks

@@ -1,0 +1,16 @@
+"""Clean twin: handles are kept and cancelled on the stop path."""
+from repro import sampler
+
+
+def run_task(sim):
+    handle = sampler.arm(sim)
+    pending = [None]
+
+    def spin():
+        pending[0] = sim.schedule(5.0, spin)
+
+    pending[0] = sim.schedule(5.0, spin)
+    sim.run(until=100.0)
+    sim.cancel(handle)
+    sim.cancel(pending[0])
+    return sim

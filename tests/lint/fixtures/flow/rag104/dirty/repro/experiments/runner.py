@@ -1,0 +1,13 @@
+"""Fixture: a returned handle dropped at the caller, and a
+self-rescheduling closure chain with no handle at all."""
+from repro import sampler
+
+
+def run_task(sim):
+    sampler.arm(sim)  # handle dropped: nothing can cancel the event
+
+    def spin():
+        sim.schedule(5.0, spin)  # unstoppable chain
+
+    sim.schedule(5.0, spin)
+    return sim

@@ -1,0 +1,6 @@
+def tick():
+    pass
+
+
+def arm(sim):
+    return sim.schedule(10.0, tick)

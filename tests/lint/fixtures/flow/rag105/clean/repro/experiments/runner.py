@@ -1,0 +1,6 @@
+"""Clean twin: the operands are sorted before the reduction."""
+
+
+def run_task(samples):
+    rates = set(samples)
+    return sum(sorted(rates))

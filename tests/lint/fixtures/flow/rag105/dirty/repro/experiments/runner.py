@@ -1,0 +1,6 @@
+"""Fixture: capacity aggregated over an unordered set."""
+
+
+def run_task(samples):
+    rates = set(samples)
+    return sum(rates)  # set iteration order is hash-dependent

@@ -1,0 +1,85 @@
+"""Every flow rule has a dirty fixture it flags and a clean twin it
+does not — the pass is judged on both halves."""
+
+import pathlib
+
+import pytest
+
+from repro.lint.flow import run_flow
+
+FIXTURES = pathlib.Path(__file__).resolve().parents[1] / "fixtures" / "flow"
+
+RULES = ("rag100", "rag101", "rag102", "rag103", "rag104", "rag105")
+
+
+def rule_ids(report):
+    return sorted({ff.finding.rule_id for ff in report.findings
+                   if not ff.finding.suppressed})
+
+
+@pytest.mark.parametrize("rule", RULES)
+def test_dirty_fixture_is_flagged(rule):
+    report = run_flow([str(FIXTURES / rule / "dirty")])
+    assert rule_ids(report) == [rule.upper()], (
+        f"{rule} dirty fixture should trip exactly {rule.upper()}, "
+        f"got {rule_ids(report)}")
+
+
+@pytest.mark.parametrize("rule", RULES)
+def test_clean_twin_is_not_flagged(rule):
+    report = run_flow([str(FIXTURES / rule / "clean")])
+    details = "\n".join(ff.finding.format() for ff in report.findings)
+    assert report.clean, f"{rule} clean twin tripped:\n{details}"
+
+
+def test_rag100_message_names_the_cross_file_chain():
+    """The finding explains HOW the tainted site is reachable."""
+    report = run_flow([str(FIXTURES / "rag100" / "dirty")])
+    (finding,) = [ff.finding for ff in report.findings]
+    assert "random.random" in finding.message
+    assert "reachable via" in finding.message
+    assert "repro.util.jitter" in finding.message
+
+
+def test_rag104_dirty_has_both_escape_shapes():
+    """The fixture encodes a dropped returned handle AND an
+    unstoppable self-rescheduling chain."""
+    report = run_flow([str(FIXTURES / "rag104" / "dirty")])
+    messages = [ff.finding.message for ff in report.findings]
+    assert len(messages) == 2
+    assert any("drops the schedule handle returned by" in m
+               for m in messages)
+    assert any("self-rescheduling" in m for m in messages)
+
+
+def test_fingerprints_are_line_number_free():
+    """Inserting a comment above a finding must not invalidate its
+    baseline fingerprint."""
+    dirty = FIXTURES / "rag105" / "dirty"
+    report = run_flow([str(dirty)])
+    (before,) = [ff.fingerprint for ff in report.findings]
+
+    runner = dirty / "repro" / "experiments" / "runner.py"
+    original = runner.read_text(encoding="utf-8")
+    try:
+        runner.write_text("# an unrelated leading comment\n" + original,
+                          encoding="utf-8")
+        report = run_flow([str(dirty)])
+        (after,) = [ff.fingerprint for ff in report.findings]
+    finally:
+        runner.write_text(original, encoding="utf-8")
+    assert before == after
+
+
+def test_inline_suppression_downgrades_the_finding(tmp_path):
+    pkg = tmp_path / "repro" / "experiments"
+    pkg.mkdir(parents=True)
+    (pkg / "runner.py").write_text(
+        "def run_task(samples):\n"
+        "    rates = set(samples)\n"
+        "    return sum(rates)  # ragnar-lint: disable=RAG105\n",
+        encoding="utf-8")
+    report = run_flow([str(tmp_path)])
+    assert report.clean
+    assert len(report.suppressed) == 1
+    assert report.suppressed[0].rule_id == "RAG105"

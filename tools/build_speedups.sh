@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
 # Build the optional C event-kernel accelerator in place:
 #
-#   tools/build_speedups.sh          # build src/repro/sim/_speedups.*.so
-#   tools/build_speedups.sh --check  # exit 0 iff the built module imports
+#   tools/build_speedups.sh             # build src/repro/sim/_speedups.*.so
+#   tools/build_speedups.sh --check     # exit 0 iff the built module imports
+#   tools/build_speedups.sh --sanitize  # ASan+UBSan instrumented build
 #
 # Plain cc against the current interpreter's headers — no pip, no
 # setuptools.  Everything keeps working without the .so (repro.sim
 # falls back to the pure-Python core), so failure here is advisory.
+#
+# A --sanitize build replaces the .so in place (and always rebuilds, so
+# a later plain run restores the optimized module); importing it from
+# a stock CPython needs the ASan runtime preloaded:
+#
+#   LD_PRELOAD="$(cc -print-file-name=libasan.so)" \
+#   ASAN_OPTIONS=detect_leaks=0 python -m pytest tests/sim/test_engines.py
+#
+# (leak detection is off because CPython's allocator intentionally
+# keeps arenas alive at exit).
 set -u
 cd "$(dirname "$0")/.."
 
@@ -34,8 +45,24 @@ EOF
     exit $?
 fi
 
-# Skip the rebuild when the source is unchanged and older than the .so.
-if [ -e "$out" ] && [ "$out" -nt "$SRC" ]; then
+if [ "${1:-}" = "--sanitize" ]; then
+    # Instrumented build: never skipped, never left ambiguous — the
+    # caller is about to LD_PRELOAD the ASan runtime and run tests.
+    set -x
+    cc -O1 -g -fPIC -shared -fsanitize=address,undefined \
+        -fno-sanitize-recover=undefined \
+        -Wall -Wextra -Wno-unused-parameter \
+        -I"$include_dir" "$SRC" -o "$out"
+    set +x
+    echo "build_speedups: built SANITIZED $out"
+    echo "build_speedups: rebuild without --sanitize before benchmarking"
+    exit 0
+fi
+
+# Skip the rebuild when the source is unchanged and older than the .so,
+# unless the current .so is an instrumented one (it links libasan).
+if [ -e "$out" ] && [ "$out" -nt "$SRC" ] \
+        && ! ldd "$out" 2>/dev/null | grep -q libasan; then
     echo "build_speedups: $out is up to date"
     exit 0
 fi

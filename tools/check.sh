@@ -10,28 +10,40 @@
 #   2. repro.lint    — BLOCKING: the repo's own determinism/invariant rules
 #                      (docs/LINT.md); fixture corpus is intentionally dirty
 #                      and excluded
-#   3. replay audit  — BLOCKING: one Grain-III experiment, two identical
+#   3. lint-flow     — BLOCKING: the whole-program pass (RAG100-RAG105)
+#                      over src/repro against tools/flow_baseline.json,
+#                      via tools/lint_flow_gate.py: a cold run (cache
+#                      deleted) and a warm run are both timed, and the
+#                      warm run must be meaningfully faster
+#   4. replay audit  — BLOCKING: one Grain-III experiment, two identical
 #                      seeds, bit-identical or bust
-#   4. faults smoke  — BLOCKING: the fault-injection experiment end to
+#   5. faults smoke  — BLOCKING: the fault-injection experiment end to
 #                      end at CI scale (docs/FAULTS.md)
-#   5. obs smoke     — BLOCKING: one experiment under --trace
+#   6. obs smoke     — BLOCKING: one experiment under --trace
 #                      --metrics, artifacts schema-validated with
 #                      `python -m repro.obs validate` (docs/OBSERVABILITY.md)
-#   6. insight       — BLOCKING: a sampled-trace table5 run rendered
+#   7. insight       — BLOCKING: a sampled-trace table5 run rendered
 #                      with `python -m repro.obs report` and diffed
 #                      byte-for-byte against the committed golden
 #                      (tests/obs/golden/table5.report.md), then
 #                      `python -m repro.obs diff` of the run against
 #                      itself (must exit 0)
-#   7. speedups      — ADVISORY: build the C event-kernel accelerator
+#   8. speedups      — ADVISORY: build the C event-kernel accelerator
 #                      (repro.sim falls back to pure Python without it)
-#   8. bench gate    — BLOCKING: simulator throughput vs the committed
+#   9. sanitizers    — BLOCKING when cc+libasan are available (skipped
+#                      with a notice otherwise, and under --fast): the
+#                      accelerator is rebuilt with ASan+UBSan
+#                      (tools/build_speedups.sh --sanitize), the
+#                      cross-engine equivalence suite runs under it,
+#                      then the optimized .so is restored before the
+#                      bench gate
+#  10. bench gate    — BLOCKING: simulator throughput vs the committed
 #                      baseline (docs/PERF.md); fails on a >20 %
 #                      event-dispatch regression (skips on engine
 #                      mismatch) or a >2 % tracing-disabled
 #                      observability overhead; each run is archived to
 #                      benchmarks/history/ for report trend lines
-#   9. pytest tier-1 — BLOCKING: the full unit/integration suite
+#  11. pytest tier-1 — BLOCKING: the full unit/integration suite
 set -u
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -58,6 +70,9 @@ fi
 echo "== repro.lint (blocking) =="
 python -m repro.lint src/repro tests --exclude tests/lint/fixtures || fail=1
 
+echo "== lint-flow whole-program gate (blocking) =="
+python tools/lint_flow_gate.py || fail=1
+
 echo "== determinism replay audit (blocking) =="
 python -m repro.lint --audit inter-mr || fail=1
 
@@ -81,6 +96,21 @@ python -m repro.obs diff "$insight_out" "$insight_out" || fail=1
 
 echo "== C event-kernel build (advisory) =="
 tools/build_speedups.sh || echo "-- C accelerator unavailable; pure-Python kernel in use"
+
+asan_rt="$(cc -print-file-name=libasan.so 2>/dev/null || true)"
+if [ "$fast" -eq 1 ]; then
+    echo "== sanitizer smoke: skipped (--fast) =="
+elif [ -n "$asan_rt" ] && [ -e "$asan_rt" ] \
+        && tools/build_speedups.sh --check >/dev/null 2>&1; then
+    echo "== sanitizer smoke: ASan+UBSan engine equivalence (blocking) =="
+    tools/build_speedups.sh --sanitize || fail=1
+    LD_PRELOAD="$asan_rt" ASAN_OPTIONS=detect_leaks=0 \
+        python -m pytest -q tests/sim/test_engines.py || fail=1
+    # restore the optimized accelerator before anything times it
+    tools/build_speedups.sh || fail=1
+else
+    echo "== sanitizer smoke: skipped (no cc/libasan or no accelerator) =="
+fi
 
 echo "== simulator benchmark gate (blocking) =="
 python tools/bench_gate.py --run-id "$(date -u +%Y%m%dT%H%M%SZ)" || fail=1

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Cold/warm gate for the whole-program lint pass (``repro.lint --flow``).
+
+Runs the flow analysis twice over ``src/repro`` against the committed
+baseline (``tools/flow_baseline.json``):
+
+1. **cold** — the incremental facts cache is deleted first, so every
+   file is parsed and extracted;
+2. **warm** — the cache written by the cold run is reused, so nothing
+   should be re-parsed.
+
+Both runs are timed.  The gate FAILS when
+
+* either run reports findings not covered by the committed baseline
+  (fix the finding or consciously accept it with
+  ``python -m repro.lint --flow --update-baseline src/repro``);
+* the warm run re-parses any file (the cache is broken);
+* the warm run is not faster than the cold run (the cache is not
+  buying anything) — guarded by a small absolute margin so scheduler
+  noise on a loaded box cannot flake the gate.
+
+Usage::
+
+    python tools/lint_flow_gate.py [--cache PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.lint import flow  # noqa: E402
+from repro.lint.flow.baseline import load_baseline  # noqa: E402
+from repro.lint.flow.cache import FactsCache  # noqa: E402
+
+# The warm run must beat the cold run by at least this much; a smaller
+# gap is indistinguishable from scheduler noise and means the cache is
+# not actually saving the parse/extract work.
+MIN_MEANINGFUL_DELTA_S = 0.05
+
+TARGET = REPO / "src" / "repro"
+
+
+def timed_run(cache_path: pathlib.Path, baseline) -> tuple[float, object]:
+    start = time.perf_counter()
+    report = flow.run_flow([str(TARGET)],
+                           cache=FactsCache(cache_path),
+                           baseline=baseline)
+    return time.perf_counter() - start, report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cache", type=pathlib.Path,
+                        default=REPO / ".lint_flow_cache.json",
+                        help="facts cache file (deleted before the cold run)")
+    args = parser.parse_args(argv)
+
+    baseline_path = flow.default_baseline_path()
+    baseline = load_baseline(baseline_path) if baseline_path else None
+    if baseline is None:
+        print("lint_flow_gate: FAIL tools/flow_baseline.json missing/unreadable")
+        return 1
+
+    args.cache.unlink(missing_ok=True)
+    cold_s, cold = timed_run(args.cache, baseline)
+    warm_s, warm = timed_run(args.cache, baseline)
+
+    print(f"lint_flow_gate: cold {cold_s:.2f}s "
+          f"({cold.cache_misses} parsed), "
+          f"warm {warm_s:.2f}s ({warm.cache_hits} cached)")
+
+    fail = 0
+    for label, report in (("cold", cold), ("warm", warm)):
+        if not report.clean:
+            details = "\n".join(f.format() for f in report.active)
+            print(f"lint_flow_gate: FAIL {label} run has unbaselined "
+                  f"findings:\n{details}")
+            fail = 1
+    if warm.cache_misses != 0:
+        print(f"lint_flow_gate: FAIL warm run re-parsed "
+              f"{warm.cache_misses} file(s); the cache is not incremental")
+        fail = 1
+    if warm_s + MIN_MEANINGFUL_DELTA_S >= cold_s:
+        print(f"lint_flow_gate: FAIL warm run ({warm_s:.2f}s) not "
+              f"meaningfully faster than cold ({cold_s:.2f}s)")
+        fail = 1
+    if not fail:
+        speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+        print(f"lint_flow_gate: OK ({cold.files_scanned} files, "
+              f"warm {speedup:.1f}x faster, "
+              f"{cold.baselined} baselined finding(s))")
+    return fail
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
