@@ -23,11 +23,11 @@ import dataclasses
 import inspect
 import io
 import pstats
-import sys
 import traceback
 from typing import Callable, Optional
 
 from repro import obs
+from repro.runtime.failures import TaskFailure
 from repro.experiments import faults, fig4, fig5, fig12, fig13, mitigation
 from repro.experiments import pythia_cmp, stealth, table1, table5, uli_linearity
 from repro.experiments.fig6_7_8 import run_fig6, run_fig7, run_fig8
@@ -101,6 +101,17 @@ class TaskOutcome:
     #: Extra artifacts written next to the table (traces, metrics,
     #: profiles), as printable path strings.
     extras: list[str] = dataclasses.field(default_factory=list)
+    #: Attempts consumed (1 on first-try success).
+    attempts: int = 1
+    #: Exception class name of the last crash ("" on success).
+    error_type: str = ""
+    #: Per-attempt retry notices, buffered here instead of printed from
+    #: pool workers so the driver can emit them in deterministic
+    #: submission order (they used to interleave on stderr).
+    attempt_logs: list[str] = dataclasses.field(default_factory=list)
+    #: Structured failure record (see docs/RUNTIME.md's taxonomy);
+    #: None on success.
+    failure: Optional[TaskFailure] = None
 
     @property
     def ok(self) -> bool:
@@ -160,8 +171,12 @@ def run_task(
     started = wallclock()
     result = None
     error_text = ""
+    error_type = ""
+    attempts_used = 0
+    attempt_logs: list[str] = []
     extras: list[str] = []
     for attempt in range(retries + 1):
+        attempts_used = attempt + 1
         # a fresh obs session per attempt: a crashed attempt's partial
         # trace must not leak into the retry's export
         session = obs.install(trace=trace, metrics=metrics,
@@ -179,19 +194,30 @@ def run_task(
             if profiler is not None:
                 extras.append(_write_profile(profiler, out, name))
             break
-        except Exception:  # ragnar-lint: disable=RAG004 — runner isolation: one crashing experiment must not abort the batch; the traceback is captured, written to the output dir and reported in the exit summary
+        except Exception as error:  # ragnar-lint: disable=RAG004 — runner isolation: one crashing experiment must not abort the batch; the traceback is captured, written to the output dir and reported in the exit summary
             if profiler is not None:
                 profiler.disable()
             error_text = traceback.format_exc()
+            error_type = type(error).__name__
             if attempt < retries:
-                print(f"[{name}: attempt {attempt + 1} crashed; retrying]",
-                      file=sys.stderr)
+                # buffered, not printed: pool workers sharing stderr
+                # used to interleave these lines mid-table
+                attempt_logs.append(
+                    f"[{name}: attempt {attempt + 1} crashed "
+                    f"({error_type}); retrying]")
         finally:
             if session is not None:
                 obs.uninstall()
     if result is None:
+        failure = TaskFailure(
+            kind="crash",
+            message=error_text.strip().splitlines()[-1],
+            exc_type=error_type, traceback=error_text,
+            attempts=attempts_used)
         return TaskOutcome(
-            name=name, error=error_text, elapsed=wallclock() - started
+            name=name, error=error_text, elapsed=wallclock() - started,
+            attempts=attempts_used, error_type=error_type,
+            attempt_logs=attempt_logs, failure=failure,
         )
     table = result.format_table()
     path = result.save(out)
@@ -206,4 +232,5 @@ def run_task(
     return TaskOutcome(
         name=name, table=table, path=str(path),
         elapsed=wallclock() - started, extras=extras,
+        attempts=attempts_used, attempt_logs=attempt_logs,
     )

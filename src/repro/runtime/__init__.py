@@ -1,0 +1,46 @@
+"""repro.runtime — the supervised task-execution engine.
+
+The bare ``ProcessPoolExecutor`` the experiments CLI used to fan out
+``--jobs N`` had two failure modes long Ragnar sweeps actually hit:
+one wedged simulation stalls the whole batch forever, and a crashed
+sweep restarts from zero.  This package is the supervision substrate
+that replaces it (and that later sharded-runner work sits on):
+
+* :mod:`repro.runtime.supervisor` — launches each task attempt as its
+  own ``multiprocessing`` worker with a heartbeat pipe, enforces
+  per-task wall-clock deadlines and heartbeat liveness, SIGKILLs and
+  reaps wedged workers, and classifies every failure (crash traceback
+  vs. deadline/heartbeat timeout vs. signal/OOM exitcode) into a
+  structured :class:`~repro.runtime.failures.TaskFailure` record;
+* :mod:`repro.runtime.retry` — deterministic exponential backoff with
+  jitter drawn from named :class:`~repro.sim.random.RandomStreams`
+  keyed on ``(seed, name, attempt)``, so a rerun of a flaky sweep
+  waits the same fractions of a second it waited the first time;
+* :mod:`repro.runtime.manifest` — the transactional sweep checkpoint
+  (``<out>/run_manifest.json``): per-task status, config digest and
+  output content digests, written atomically after every task so a
+  killed driver resumes with ``--resume`` to byte-identical artifacts;
+* :mod:`repro.runtime.bench` — the paired supervisor-vs-bare-pool
+  overhead measurement behind the ``tools/bench_gate.py`` runtime gate.
+
+See docs/RUNTIME.md for the supervision model, the failure taxonomy,
+and the resume semantics.
+"""
+
+from .failures import TaskFailure, classify_exit
+from .manifest import ManifestConfigMismatch, RunManifest, config_digest
+from .retry import RetryPolicy
+from .supervisor import Supervisor, SupervisorConfig, TaskResult, TaskSpec
+
+__all__ = [
+    "ManifestConfigMismatch",
+    "RetryPolicy",
+    "RunManifest",
+    "Supervisor",
+    "SupervisorConfig",
+    "TaskFailure",
+    "TaskResult",
+    "TaskSpec",
+    "classify_exit",
+    "config_digest",
+]

@@ -1,0 +1,98 @@
+"""The failure taxonomy shared by the supervisor and the experiments CLI.
+
+Every way a supervised task can die maps onto one structured record,
+:class:`TaskFailure`, with a small closed set of ``kind`` values:
+
+``crash``
+    The task raised: the worker reported the exception type and full
+    traceback over the heartbeat pipe before exiting, or the task
+    function itself returned a result that carries a failure (the
+    experiments runner captures tracebacks in
+    :class:`~repro.experiments.runner.TaskOutcome`).
+``timeout``
+    The supervisor killed the worker — either the per-task wall-clock
+    deadline expired, or the worker went heartbeat-silent for longer
+    than the liveness window (a hung task looks exactly like this).
+    ``message`` names which of the two tripped.
+``signal``
+    The worker process died to a signal the supervisor did not send
+    (``exitcode < 0``): an external SIGKILL, the kernel OOM killer,
+    a segfault.  ``signal_name`` carries the decoded signal.
+``skipped``
+    The task never ran: the ``--max-failures`` circuit breaker opened
+    while it was still queued.
+
+The record travels inside :class:`TaskResult` and (for experiments)
+inside ``TaskOutcome.failure``, and is serialized verbatim into the
+``<name>.error.json`` sidecar and the run manifest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import signal as signal_module
+from typing import Optional
+
+#: The closed set of failure kinds; see the module docstring.
+FAILURE_KINDS = ("crash", "timeout", "signal", "skipped")
+
+
+@dataclasses.dataclass
+class TaskFailure:
+    """One classified task failure; ``kind`` is from :data:`FAILURE_KINDS`."""
+
+    kind: str
+    message: str = ""
+    exc_type: str = ""           # exception class name for crashes
+    traceback: str = ""          # full worker-side traceback for crashes
+    exitcode: Optional[int] = None
+    signal_name: str = ""        # decoded signal for signal deaths
+    attempts: int = 1            # attempts consumed when this became final
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ValueError(
+                f"unknown failure kind {self.kind!r}; expected one of "
+                f"{FAILURE_KINDS}"
+            )
+
+    def describe(self) -> str:
+        """A printable account: the message plus the traceback if any."""
+        if self.traceback:
+            return f"{self.traceback.rstrip()}\n[{self.kind}: {self.message}]"
+        return f"[{self.kind}: {self.message}]"
+
+    def as_dict(self) -> dict:
+        """A JSON-ready dict with empty/None fields dropped."""
+        raw = dataclasses.asdict(self)
+        return {
+            key: value for key, value in raw.items()
+            if value not in ("", None)
+        }
+
+
+def classify_exit(exitcode: Optional[int], attempts: int = 1) -> TaskFailure:
+    """Classify a worker that died without reporting a result.
+
+    ``exitcode < 0`` means a signal death (``-exitcode`` is the signal
+    number); anything else is an interpreter-level crash that never
+    reached the worker's exception handler (e.g. ``os._exit``).
+    """
+    if exitcode is not None and exitcode < 0:
+        number = -exitcode
+        try:
+            name = signal_module.Signals(number).name
+        except ValueError:
+            name = f"signal {number}"
+        suffix = " (possible OOM kill)" if name == "SIGKILL" else ""
+        return TaskFailure(
+            kind="signal",
+            message=f"worker killed by {name}{suffix}",
+            exitcode=exitcode, signal_name=name, attempts=attempts,
+        )
+    return TaskFailure(
+        kind="crash",
+        message=f"worker exited with code {exitcode} before reporting "
+                f"a result",
+        exitcode=exitcode, attempts=attempts,
+    )

@@ -1,0 +1,139 @@
+"""The sweep checkpoint manifest: ``<out>/run_manifest.json``.
+
+After every finished task the driver records the task's status,
+attempt count, failure record and the SHA-256 content digests of the
+artifacts it wrote, then saves the manifest *transactionally* (temp
+file + ``os.replace``) — a driver killed mid-save leaves either the
+previous manifest or the new one, never a torn file.
+
+``--resume`` loads the manifest back, verifies the run configuration
+digest matches (resuming a ``--smoke`` sweep as a full sweep would
+silently mix artifacts from two different runs), and skips every task
+whose status is ``ok`` *and* whose recorded outputs still exist with
+matching digests.  Everything else — failed, skipped, interrupted
+mid-write, or tampered with — is re-run from scratch, which is safe
+because tasks are deterministic and overwrite their outputs whole.
+The chaos tests in ``tests/runtime/`` prove a killed-and-resumed sweep
+produces byte-identical artifacts to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import Iterable, Optional
+
+from repro.runtime.failures import TaskFailure
+
+MANIFEST_NAME = "run_manifest.json"
+MANIFEST_VERSION = 1
+
+
+class ManifestConfigMismatch(RuntimeError):
+    """``--resume`` against a manifest written with different settings."""
+
+
+def config_digest(config: dict) -> str:
+    """A stable digest of the run configuration (sorted-key JSON)."""
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _file_digest(path: pathlib.Path) -> str:
+    return "sha256:" + hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+class RunManifest:
+    """Per-task checkpoint state for one sweep output directory."""
+
+    def __init__(self, out_dir, config: dict) -> None:
+        self.out_dir = pathlib.Path(out_dir)
+        self.path = self.out_dir / MANIFEST_NAME
+        self.config = dict(config)
+        self.digest = config_digest(self.config)
+        self.tasks: dict = {}
+
+    # ------------------------------------------------------------------
+    # Load / save
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, out_dir, config: dict, resume: bool = False,
+             ) -> "RunManifest":
+        """A manifest for ``out_dir``: fresh, or — when ``resume`` and a
+        manifest exists — loaded with its per-task state, after the
+        config digest check."""
+        manifest = cls(out_dir, config)
+        if not resume or not manifest.path.exists():
+            return manifest
+        data = json.loads(manifest.path.read_text())
+        if data.get("config_digest") != manifest.digest:
+            raise ManifestConfigMismatch(
+                f"{manifest.path} was written by a run with different "
+                f"settings (its config: {data.get('config')}; this run: "
+                f"{manifest.config}); rerun without --resume or point "
+                f"--out elsewhere"
+            )
+        manifest.tasks = dict(data.get("tasks", {}))
+        return manifest
+
+    def save(self) -> None:
+        """Write the manifest atomically (temp file + ``os.replace``)."""
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": MANIFEST_VERSION,
+            "config": self.config,
+            "config_digest": self.digest,
+            "tasks": {name: self.tasks[name] for name in sorted(self.tasks)},
+        }
+        tmp = self.path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, self.path)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_ok(self, name: str, attempts: int,
+                  outputs: Iterable[str]) -> None:
+        """Mark ``name`` complete, digesting each output path (given
+        absolute or CWD-relative; stored relative to the out dir)."""
+        digests = {}
+        for raw in outputs:
+            path = pathlib.Path(raw)
+            key = os.path.relpath(path, self.out_dir)
+            digests[key] = _file_digest(path)
+        self.tasks[name] = {
+            "status": "ok",
+            "attempts": int(attempts),
+            "outputs": digests,
+        }
+
+    def record_failure(self, name: str, failure: TaskFailure) -> None:
+        self.tasks[name] = {
+            "status": "failed",
+            "attempts": int(failure.attempts),
+            "failure": failure.as_dict(),
+        }
+
+    def record_skipped(self, name: str, reason: str) -> None:
+        self.tasks[name] = {"status": "skipped", "reason": reason}
+
+    # ------------------------------------------------------------------
+    # Resume queries
+    # ------------------------------------------------------------------
+    def entry(self, name: str) -> Optional[dict]:
+        return self.tasks.get(name)
+
+    def can_skip(self, name: str) -> bool:
+        """True when ``name`` completed successfully and every recorded
+        output still exists with a matching content digest."""
+        entry = self.tasks.get(name)
+        if entry is None or entry.get("status") != "ok":
+            return False
+        outputs = entry.get("outputs", {})
+        for rel, digest in outputs.items():
+            path = self.out_dir / rel
+            if not path.exists() or _file_digest(path) != digest:
+                return False
+        return True

@@ -1,0 +1,63 @@
+"""Deterministic retry backoff.
+
+Retry delays are exponential with jitter, but the jitter is *not*
+wall-clock entropy: it is drawn from a named
+:class:`~repro.sim.random.RandomStreams` stream keyed on
+``(seed, task name, attempt)``.  Two runs of the same sweep therefore
+wait the same fractions of a second before every retry, the recorded
+``retry_delays`` in the manifest are byte-stable, and a chaos test can
+assert the exact schedule the supervisor will follow.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.sim.random import RandomStreams
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``retries`` is the number of *re*-attempts after the first try
+    (``retries=0`` disables retrying).  The delay before re-running
+    attempt ``n`` (1-based count of attempts already consumed) is::
+
+        min(max_delay, base_delay * factor ** (n - 1)) * (1 + jitter * u)
+
+    where ``u ∈ [0, 1)`` comes from the stream
+    ``retry:<name>:attempt<n>`` of ``RandomStreams(seed)``.
+    """
+
+    retries: int = 0
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+
+    def delay(self, seed: int, name: str, attempt: int) -> float:
+        """Seconds to wait before re-running ``name`` after its
+        ``attempt``-th try failed (attempts count from 1)."""
+        if attempt < 1:
+            raise ValueError(f"attempt counts from 1, got {attempt}")
+        bounded = min(self.max_delay,
+                      self.base_delay * self.factor ** (attempt - 1))
+        if self.jitter == 0 or bounded == 0:
+            return bounded
+        stream = RandomStreams(seed).stream(f"retry:{name}:attempt{attempt}")
+        return bounded * (1.0 + self.jitter * float(stream.random()))
+
+    def schedule(self, seed: int, name: str) -> list:
+        """The full deterministic delay schedule for ``name`` — what a
+        task that fails every attempt would wait between tries."""
+        return [self.delay(seed, name, attempt)
+                for attempt in range(1, self.retries + 1)]

@@ -1,0 +1,99 @@
+"""The sweep checkpoint manifest: transactional saves, digest checks,
+resume queries."""
+
+import json
+
+import pytest
+
+from repro.runtime import (
+    ManifestConfigMismatch,
+    RunManifest,
+    TaskFailure,
+    config_digest,
+)
+
+CONFIG = {"seed": 0, "smoke": True}
+
+
+class TestConfigDigest:
+    def test_stable_and_order_free(self):
+        assert config_digest({"a": 1, "b": 2}) == \
+            config_digest({"b": 2, "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert config_digest({"seed": 0}) != config_digest({"seed": 1})
+
+
+class TestRecording:
+    def test_ok_records_relative_paths_and_digests(self, tmp_path):
+        artifact = tmp_path / "demo.txt"
+        artifact.write_text("table")
+        manifest = RunManifest(tmp_path, CONFIG)
+        manifest.record_ok("demo", attempts=2, outputs=[str(artifact)])
+        entry = manifest.entry("demo")
+        assert entry["status"] == "ok"
+        assert entry["attempts"] == 2
+        assert list(entry["outputs"]) == ["demo.txt"]
+        assert entry["outputs"]["demo.txt"].startswith("sha256:")
+
+    def test_failure_and_skip_records(self, tmp_path):
+        manifest = RunManifest(tmp_path, CONFIG)
+        manifest.record_failure("boom", TaskFailure(
+            kind="timeout", message="deadline", attempts=3))
+        manifest.record_skipped("late", "circuit breaker open")
+        assert manifest.entry("boom")["status"] == "failed"
+        assert manifest.entry("boom")["failure"]["kind"] == "timeout"
+        assert manifest.entry("late")["status"] == "skipped"
+        assert not manifest.can_skip("boom")
+        assert not manifest.can_skip("late")
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        artifact = tmp_path / "demo.txt"
+        artifact.write_text("table")
+        manifest = RunManifest(tmp_path, CONFIG)
+        manifest.record_ok("demo", 1, [str(artifact)])
+        manifest.save()
+        loaded = RunManifest.open(tmp_path, CONFIG, resume=True)
+        assert loaded.can_skip("demo")
+        assert loaded.entry("demo") == manifest.entry("demo")
+
+    def test_save_is_transactional(self, tmp_path):
+        manifest = RunManifest(tmp_path, CONFIG)
+        manifest.record_skipped("x", "because")
+        manifest.save()
+        # no torn temp file left behind, and the file is valid JSON
+        assert not list(tmp_path.glob("*.tmp"))
+        data = json.loads((tmp_path / "run_manifest.json").read_text())
+        assert data["config_digest"] == config_digest(CONFIG)
+
+    def test_resume_with_other_config_rejected(self, tmp_path):
+        manifest = RunManifest(tmp_path, CONFIG)
+        manifest.save()
+        with pytest.raises(ManifestConfigMismatch):
+            RunManifest.open(tmp_path, {"seed": 1, "smoke": True},
+                             resume=True)
+
+    def test_fresh_open_ignores_existing_state(self, tmp_path):
+        manifest = RunManifest(tmp_path, CONFIG)
+        manifest.record_skipped("x", "because")
+        manifest.save()
+        fresh = RunManifest.open(tmp_path, CONFIG, resume=False)
+        assert fresh.tasks == {}
+
+
+class TestCanSkip:
+    def test_requires_outputs_to_verify(self, tmp_path):
+        artifact = tmp_path / "demo.txt"
+        artifact.write_text("table")
+        manifest = RunManifest(tmp_path, CONFIG)
+        manifest.record_ok("demo", 1, [str(artifact)])
+        assert manifest.can_skip("demo")
+        artifact.write_text("tampered")      # digest mismatch
+        assert not manifest.can_skip("demo")
+        artifact.unlink()                    # missing file
+        assert not manifest.can_skip("demo")
+
+    def test_unknown_task_not_skippable(self, tmp_path):
+        assert not RunManifest(tmp_path, CONFIG).can_skip("nope")

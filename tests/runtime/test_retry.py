@@ -1,0 +1,51 @@
+"""Deterministic backoff: same (seed, name, attempt) ⇒ same delay."""
+
+import math
+
+import pytest
+
+from repro.runtime import RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic(self):
+        policy = RetryPolicy(retries=3)
+        first = policy.delay(7, "fig13", 2)
+        again = RetryPolicy(retries=3).delay(7, "fig13", 2)
+        assert first == again
+
+    def test_delay_varies_with_key(self):
+        policy = RetryPolicy(retries=3)
+        base = policy.delay(7, "fig13", 1)
+        assert policy.delay(8, "fig13", 1) != base      # seed
+        assert policy.delay(7, "table5", 1) != base     # name
+        assert policy.delay(7, "fig13", 2) != base      # attempt
+
+    def test_exponential_growth_with_cap(self):
+        policy = RetryPolicy(retries=6, base_delay=0.1, factor=2.0,
+                             max_delay=0.5, jitter=0.0)
+        delays = policy.schedule(0, "x")
+        assert delays[:3] == [0.1, 0.2, 0.4]
+        assert all(math.isclose(d, 0.5) for d in delays[3:])
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(retries=1, base_delay=1.0, jitter=0.5)
+        for attempt in range(1, 20):
+            delay = policy.delay(0, "t", attempt)
+            bounded = min(policy.max_delay,
+                          policy.base_delay * policy.factor ** (attempt - 1))
+            assert bounded <= delay < bounded * 1.5
+
+    def test_schedule_length_matches_retries(self):
+        assert RetryPolicy(retries=0).schedule(0, "x") == []
+        assert len(RetryPolicy(retries=4).schedule(0, "x")) == 4
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=1).delay(0, "x", 0)

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Crash-resume smoke: SIGKILL a sweep mid-flight, resume it, and diff
+the artifacts against an uninterrupted reference run.
+
+The end-to-end version of the acceptance scenario the unit chaos tests
+(``tests/runtime/``) prove in-process::
+
+    python tools/chaos_resume_smoke.py
+    python tools/chaos_resume_smoke.py --experiments table1 fig4 --jobs 2
+
+Drives ``python -m repro.experiments`` three times:
+
+1. a *reference* sweep, run to completion;
+2. a *chaos* sweep in its own process group, SIGKILLed as soon as the
+   run manifest records its first checkpointed task (driver and workers
+   die together — nothing gets a chance to clean up);
+3. the same chaos sweep again with ``--resume``, which must exit 0 and
+   leave result artifacts byte-identical to the reference
+   (``run_manifest.json`` and ``*.error.*`` interruption records are
+   not part of the byte-identity contract).
+
+Exits nonzero on any divergence.  See docs/RUNTIME.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: How long to wait for the chaos sweep's first checkpoint before
+#: declaring the smoke wedged (spawn workers need a moment to start).
+FIRST_CHECKPOINT_TIMEOUT_S = 300.0
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return env
+
+
+def _sweep_argv(experiments: list, jobs: int, out: pathlib.Path) -> list:
+    return [sys.executable, "-m", "repro.experiments", *experiments,
+            "--jobs", str(jobs), "--out", str(out)]
+
+
+def _artifact_bytes(out: pathlib.Path) -> dict:
+    return {
+        p.name: p.read_bytes()
+        for p in sorted(out.iterdir())
+        if p.name != "run_manifest.json" and ".error." not in p.name
+    }
+
+
+def run_chaos_sweep(experiments: list, jobs: int,
+                    out: pathlib.Path) -> None:
+    """Start the sweep in its own process group and SIGKILL the whole
+    group once the manifest shows real progress."""
+    process = subprocess.Popen(
+        _sweep_argv(experiments, jobs, out), env=_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+    manifest = out / "run_manifest.json"
+    deadline = time.monotonic() + FIRST_CHECKPOINT_TIMEOUT_S
+    try:
+        while process.poll() is None:
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"no checkpoint after {FIRST_CHECKPOINT_TIMEOUT_S}s; "
+                    f"sweep appears wedged")
+            if manifest.exists() and json.loads(
+                    manifest.read_text())["tasks"]:
+                break
+            time.sleep(0.01)
+        if process.poll() is None:
+            os.killpg(process.pid, signal.SIGKILL)
+            print(f"chaos_resume_smoke: SIGKILLed sweep process group "
+                  f"{process.pid} mid-flight")
+        else:
+            print("chaos_resume_smoke: sweep finished before the kill "
+                  "landed; resume degrades to an idempotence check")
+    finally:
+        process.wait(timeout=60)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--experiments", nargs="+",
+                        default=["table1", "fig4"],
+                        help="sweep members (default: table1 fig4)")
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--workdir", type=pathlib.Path, default=None,
+                        help="where to put the reference and chaos "
+                             "output trees (default: a fresh tempdir)")
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be positive")
+
+    workdir = args.workdir or pathlib.Path(
+        tempfile.mkdtemp(prefix="chaos_resume_smoke_"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    reference_out = workdir / "reference"
+    chaos_out = workdir / "chaos"
+
+    print(f"chaos_resume_smoke: reference sweep -> {reference_out}")
+    subprocess.run(_sweep_argv(args.experiments, args.jobs, reference_out),
+                   env=_env(), check=True, timeout=1800)
+
+    print(f"chaos_resume_smoke: chaos sweep -> {chaos_out}")
+    run_chaos_sweep(args.experiments, args.jobs, chaos_out)
+
+    print("chaos_resume_smoke: resuming the killed sweep")
+    resumed = subprocess.run(
+        _sweep_argv(args.experiments, args.jobs, chaos_out) + ["--resume"],
+        env=_env(), timeout=1800)
+    if resumed.returncode != 0:
+        print(f"chaos_resume_smoke: FAIL — resume exited "
+              f"{resumed.returncode}")
+        return 1
+
+    reference = _artifact_bytes(reference_out)
+    chaos = _artifact_bytes(chaos_out)
+    if reference != chaos:
+        differing = sorted(
+            set(reference) ^ set(chaos)
+            | {name for name in set(reference) & set(chaos)
+               if reference[name] != chaos[name]})
+        print(f"chaos_resume_smoke: FAIL — resumed artifacts diverge "
+              f"from the reference: {differing}")
+        return 1
+
+    manifest = json.loads((chaos_out / "run_manifest.json").read_text())
+    incomplete = {name: entry["status"]
+                  for name, entry in manifest["tasks"].items()
+                  if entry["status"] != "ok"}
+    if sorted(manifest["tasks"]) != sorted(args.experiments) or incomplete:
+        print(f"chaos_resume_smoke: FAIL — manifest incomplete after "
+              f"resume: {incomplete or sorted(manifest['tasks'])}")
+        return 1
+
+    print(f"chaos_resume_smoke: OK — {len(reference)} artifact(s) "
+          f"byte-identical after SIGKILL + --resume")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
