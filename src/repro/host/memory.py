@@ -79,6 +79,24 @@ class HostMemory:
         off = self._check(addr, len(data))
         self._data[off : off + len(data)] = data
 
+    def read_prechecked(self, addr: int, length: int) -> bytes:
+        """:meth:`read` minus the bounds check.
+
+        For callers that have already proven ``[addr, +length)`` lies
+        inside this memory (the batched descriptor fast path validates
+        a whole cohort up front against its MRs, which were carved from
+        this memory by :meth:`alloc`).  Passing an unproven address is
+        undefined: a negative offset would wrap Python slice semantics.
+        """
+        off = addr - self.base
+        return bytes(self._data[off : off + length])
+
+    def write_prechecked(self, addr: int, data: bytes) -> None:
+        """:meth:`write` minus the bounds check — see
+        :meth:`read_prechecked` for the caller contract."""
+        off = addr - self.base
+        self._data[off : off + len(data)] = data
+
     def read_u64(self, addr: int) -> int:
         return int.from_bytes(self.read(addr, 8), "little")
 

@@ -115,7 +115,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="list the rule pack and exit")
     parser.add_argument("--flow", action="store_true",
                         help="run the whole-program flow analyses "
-                             "(RAG100-RAG105) instead of the per-file "
+                             "(RAG100-RAG106) instead of the per-file "
                              "rules")
     parser.add_argument("--baseline", metavar="PATH", default=None,
                         help="flow baseline file (default: the "

@@ -19,7 +19,7 @@ whole-program pipeline:
    queries anchored at the experiment registry
    (``repro.experiments.runner.run_task``) and the channel/fault
    subsystems.
-3. **analyse** (:mod:`repro.lint.flow.analyses`) — the RAG100–RAG105
+3. **analyse** (:mod:`repro.lint.flow.analyses`) — the RAG100–RAG106
    dataflow rules.
 4. **report** — findings reuse :class:`repro.lint.engine.Finding`; known
    sanctioned findings live in a committed baseline

@@ -1,4 +1,4 @@
-"""The RAG100–RAG105 whole-program dataflow rules.
+"""The RAG100–RAG106 whole-program dataflow rules.
 
 Each rule walks the linked :class:`ProjectIndex` rather than a single
 AST, so a finding can say *how* a site is reachable ("via run_task ->
@@ -13,6 +13,7 @@ RAG102  module-level mutable container mutated after import time
 RAG103  module-level name rebound after import time without a reset
 RAG104  schedule handle escapes its creator without a cancel path
 RAG105  order-sensitive float reduction on an output path
+RAG106  per-element stream() draw inside a vectorized sweep
 """
 
 from __future__ import annotations
@@ -398,6 +399,42 @@ class UnorderedReductionRule(FlowRule):
                              + _via(index, parents, qualname)))
 
 
+# ----------------------------------------------------------------------
+# RAG106 — vectorized-sweep randomness discipline
+# ----------------------------------------------------------------------
+
+class LoopStreamDrawRule(FlowRule):
+    """A named ``stream()`` constructed once per element inside a loop
+    or comprehension.  Descriptor-array stage code (the batched fast
+    path, the TPU admission sweep) must pre-draw its randomness into a
+    buffer from ONE named stream before the sweep: a per-element
+    ``stream()`` re-derives the SHA-256 key per descriptor (quadratic
+    in cohort size), and, worse, makes the draw sequence depend on the
+    sweep's iteration shape — splitting one cohort into two then
+    consumes different streams, so scalar and batched replays diverge.
+    """
+
+    rule_id = "RAG106"
+    title = "per-element stream() draw inside a vectorized sweep"
+    severity = "error"
+
+    def run(self, index: ProjectIndex) -> Iterator[RawFinding]:
+        for qualname in sorted(index.functions):
+            fn, facts = index.functions[qualname]
+            for site in fn.rng:
+                if site.kind != "loop_stream":
+                    continue
+                yield self.raw(
+                    facts, fn, site.line, site.col,
+                    key=f"loop_stream:{site.target}",
+                    message=(f"{fn.qualname} draws a fresh "
+                             f"{site.target}() per element of a sweep; "
+                             f"pre-draw one named-stream buffer before "
+                             f"the loop and index into it so scalar and "
+                             f"batched replays consume identical "
+                             f"sequences"))
+
+
 FLOW_RULES: tuple[FlowRule, ...] = (
     GlobalRandomnessTaintRule(),
     UnseededGeneratorRule(),
@@ -405,6 +442,7 @@ FLOW_RULES: tuple[FlowRule, ...] = (
     SharedRebindRule(),
     HandleEscapeRule(),
     UnorderedReductionRule(),
+    LoopStreamDrawRule(),
 )
 
 
@@ -456,6 +494,7 @@ __all__ = [
     "FlowRule",
     "GlobalRandomnessTaintRule",
     "HandleEscapeRule",
+    "LoopStreamDrawRule",
     "RawFinding",
     "SharedMutableWriteRule",
     "SharedRebindRule",

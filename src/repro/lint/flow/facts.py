@@ -24,7 +24,7 @@ from repro.lint.rules import (
 )
 
 #: Bump when the extraction schema changes; the cache keys on it.
-FACTS_SCHEMA_VERSION = 1
+FACTS_SCHEMA_VERSION = 2
 
 #: Kernel methods that return a cancellable schedule handle.
 SCHEDULE_METHODS = frozenset({"schedule", "schedule_at"})
@@ -99,7 +99,9 @@ class RngFact:
     col: int
     #: 'global' (process-global RNG), 'entropy' (os.urandom & friends),
     #: 'seedless' (default_rng() / Generator without a seed),
-    #: 'literal_seed' (default_rng(<constant>) fallback).
+    #: 'literal_seed' (default_rng(<constant>) fallback),
+    #: 'loop_stream' (a named ``stream()`` drawn per element inside a
+    #: loop or comprehension — RAG106's vectorized-sweep discipline).
     kind: str
     target: str
 
@@ -341,6 +343,12 @@ class _FunctionExtractor:
         self.assigned_locals: set[str] = set()
         self.handle_locals: dict[str, ScheduleFact] = {}
         self.set_locals: set[str] = set()
+        #: Loop-body nesting depth (a loop's else clause runs once, so
+        #: it does not count).
+        self.loop_depth = 0
+        #: Call node ids already recorded as loop_stream sites (a call
+        #: inside a comprehension inside a loop is visited twice).
+        self._stream_flagged: set[int] = set()
 
     def walk(self) -> None:
         args = getattr(self.node, "args", None)
@@ -394,6 +402,9 @@ class _FunctionExtractor:
                     self.facts.calls.append(CallFact(
                         line=sub.lineno, col=sub.col_offset,
                         target=sub.attr, form="ref_self"))
+                elif isinstance(sub, (ast.GeneratorExp, ast.ListComp,
+                                      ast.SetComp, ast.DictComp)):
+                    self._comp_streams(sub)
                 self._reduction(sub)
 
     def _stmt(self, stmt: ast.AST) -> None:
@@ -434,6 +445,16 @@ class _FunctionExtractor:
         else:
             self._scan([stmt], discarded_call)
 
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            # only the body repeats per element; the else clause runs
+            # once after the loop drains
+            self.loop_depth += 1
+            for child in stmt.body:
+                self._stmt(child)
+            self.loop_depth -= 1
+            for child in stmt.orelse:
+                self._stmt(child)
+            return
         for field in ("body", "orelse", "finalbody"):
             for child in getattr(stmt, field, ()):
                 self._stmt(child)
@@ -620,6 +641,8 @@ class _FunctionExtractor:
                             arg.id not in self.facts.param_fates.cancelled:
                         self.facts.param_fates.cancelled.append(arg.id)
         self._rng_call(call)
+        if self.loop_depth > 0:
+            self._loop_stream(call)
         fact = self._call_fact(call, discarded)
         if fact is not None:
             self.facts.calls.append(fact)
@@ -670,6 +693,37 @@ class _FunctionExtractor:
                             target=func.attr, form="method",
                             discarded=discarded)
         return None
+
+    def _loop_stream(self, call: ast.Call) -> None:
+        """Record a named-stream construction that runs once per
+        element of a sweep (RAG106: stage code must pre-draw a buffer
+        outside the loop and index into it)."""
+        func = call.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "stream"):
+            return
+        if id(call) in self._stream_flagged:
+            return
+        self._stream_flagged.add(id(call))
+        self.facts.rng.append(RngFact(
+            call.lineno, call.col_offset, "loop_stream",
+            dotted_name(func) or "stream"))
+
+    def _comp_streams(self, comp: ast.AST) -> None:
+        """A comprehension is a per-element loop too: everything except
+        the first generator's iterable (evaluated once) re-runs per
+        element."""
+        generators = getattr(comp, "generators", ())
+        once = generators[0].iter if generators else None
+        stack: list[ast.AST] = [comp]
+        while stack:
+            node = stack.pop()
+            if node is once or isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+                continue
+            if isinstance(node, ast.Call):
+                self._loop_stream(node)
+            stack.extend(ast.iter_child_nodes(node))
 
     def _rng_call(self, call: ast.Call) -> None:
         target = _resolve(call.func, self.aliases)

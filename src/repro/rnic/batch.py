@@ -1,0 +1,446 @@
+"""Batched message-descriptor fast path for :class:`repro.rnic.rnic.RNIC`.
+
+``RNIC.post_send_batch`` historically expanded into per-message closure
+chains: ten scheduled events per WQE, each touching one
+:class:`~repro.rnic.station.ServiceStation`.  For the barrier-shaped
+workloads that dominate the end-to-end benchmarks (post a cohort, drain
+it, repeat), every one of those events is *predictable at post time*:
+with no loss, no faults and no competing traffic, each pipeline stage is
+a FIFO recurrence over the cohort, so the whole flight plan can be
+computed as nine vectorized sweeps over a structured descriptor array
+and the kernel only has to dispatch the final completion events.
+
+The planner below (:func:`try_fast_path`) does exactly that:
+
+1. prove eligibility without mutating anything (quiescent simulator, RC
+   one-sided cohort, lossless/fault-free path, every WQE prechecked to
+   complete ``SUCCESS``);
+2. advance the descriptor array through the requester-side stages on
+   *shadow* station state via :func:`repro.sim.kernel.batch_advance_for`
+   (the C cohort-drain primitive on the C engine, its bit-identical
+   Python twin otherwise);
+3. commit: sequential TPU admits (the one history-coupled stage),
+   semantic data movement, the responder-side and completion sweeps,
+   station/counter bulk updates, and a self-rescheduling drainer that
+   delivers each CQE at its exact scalar-path timestamp.
+
+Everything the scalar path would have computed — station horizons,
+``busy_ns``/``wait_ns`` accumulators, translation history and caches,
+RNG streams, counters, CQE payloads and order — is bit-identical,
+because every sweep replays the scalar recurrences in the scalar
+event order (stable argsorts re-derive the event order after the two
+stages with per-message extras).  Anything the planner cannot prove —
+loss or fault processes, UD/UC transports, SENDs, observability hooks,
+a non-quiescent simulator, a WQE that would not complete ``SUCCESS`` —
+returns ``False`` before the commit point and the caller falls back to
+the scalar per-message pipeline, closures and all.
+
+Contract note: the plan commits future station occupancy at post time.
+Posting *more* work before the cohort drains is causally fine (later
+arrivals queue behind the committed horizons) but is outside the
+byte-identity guarantee, which covers the barrier shape the equivalence
+suite pins: post cohort, run to drain, repeat.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.rnic.translation import VECTOR_MIN as _VECTOR_MIN
+from repro.sim.kernel import batch_advance_for
+from repro.sim.units import SECONDS, bytes_to_bits
+from repro.verbs.engine import move_one_sided
+from repro.verbs.enums import REQUIRED_REMOTE_ACCESS, AccessFlags, WCStatus
+from repro.verbs.errors import RemoteAccessError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rnic.rnic import RNIC
+    from repro.verbs.qp import QueuePair
+    from repro.verbs.wr import SendWR
+
+__all__ = ["MIN_BATCH", "FAST_PATH_ENABLED", "try_fast_path"]
+
+#: Cohorts below this size take the scalar path: the planner's fixed
+#: overhead (eligibility proof + nine sweeps) only amortizes across a
+#: real batch.
+MIN_BATCH = 2
+
+#: Kill switch (``REPRO_RNIC_BATCH=0``).  Defaults on — the fast path
+#: is bit-identical where it engages and falls back everywhere else —
+#: but experiments that want the scalar event stream for tracing can
+#: opt out without code changes.  Tests monkeypatch this module global.
+FAST_PATH_ENABLED = os.environ.get(
+    "REPRO_RNIC_BATCH", "1"
+).strip().lower() not in ("0", "false", "off")
+
+
+def try_fast_path(rnic: "RNIC", qp: "QueuePair", wrs: "list[SendWR]") -> bool:
+    """Plan and commit a descriptor cohort; ``False`` means "take the
+    scalar path" and guarantees nothing was mutated."""
+    if not FAST_PATH_ENABLED:
+        return False
+    n = len(wrs)
+    if n < MIN_BATCH:
+        return False
+    sim = rnic.sim
+    # Quiescence: in-flight events could interleave with the planned
+    # admits, and the plan replays *global* per-station event order.
+    if sim.pending != 0:
+        return False
+    # Observability pins the scalar event stream (tracer spans, digest
+    # hooks fire per dispatched event).
+    if sim._dispatch_hooks or sim._digest_hook is not None:
+        return False
+    if rnic._obs is not None:
+        return False
+    # RC only: unreliable transports complete at send time (different
+    # CQE timing) and SENDs need responder RQ state.
+    if not qp.qp_type.acks_requests:
+        return False
+    remote_qp = qp.remote_qp
+    if remote_qp is None:
+        return False
+    from repro.rnic.rnic import RNIC as _RNIC  # rnic.py imports us
+
+    responder = remote_qp.context.engine
+    if responder is rnic or not isinstance(responder, _RNIC):
+        return False
+    if responder._obs is not None:
+        return False
+    # Lossless, fault-free path both ways: loss reroutes through the
+    # retry machinery and fault processes make transit time-dependent.
+    net = rnic.network
+    if net is not None:
+        if net.has_faults or net.loss_probability(rnic, responder) > 0.0 \
+                or net.loss_probability(responder, rnic) > 0.0:
+            return False
+    rnet = responder.network
+    if rnet is not None and rnet is not net and rnet.has_faults:
+        return False
+    cq = qp.send_cq
+    if cq.destroyed:
+        return False
+
+    spec = rnic.spec
+    rspec = responder.spec
+    pcie_spec = spec.pcie
+    rpcie_spec = rspec.pcie
+    header = spec.header_bytes
+    rheader = rspec.header_bytes
+    line_rate = spec.line_rate_bps
+    rline_rate = rspec.line_rate_bps
+    local_mem = qp.context.memory
+    remote_ctx = remote_qp.context
+    mr_by_rkey = remote_ctx.mr_by_rkey
+    packets = rnic._packets
+
+    # ------------------------------------------------------------------
+    # Per-WQE eligibility + geometry (memoized per (opcode, length))
+    # ------------------------------------------------------------------
+    # The remote-MR proof here is the fused twin of
+    # repro.verbs.engine.precheck_one_sided: MR lookup, liveness and
+    # access flags memoized per rkey/opcode, bounds as two inline
+    # comparisons per WQE.  The equivalence suite asserts the two
+    # agree; any would-be non-SUCCESS answer routes the batch to the
+    # scalar pipeline so error CQEs stay byte-identical.
+    geo: dict = {}
+    mr_bounds: dict = {}
+    keys = []
+    offsets = []
+    sizes = []
+    keys_append = keys.append
+    offsets_append = offsets.append
+    sizes_append = sizes.append
+    rkey0 = wrs[0].rkey
+    same_rkey = True
+    signaled = 0
+    n_inline = 0
+    req_total = 0
+    resp_total = 0
+    success = WCStatus.SUCCESS
+    lm_base = local_mem.base
+    lm_end = local_mem.end
+    none_flags = AccessFlags.NONE
+    try:
+        for wr in wrs:
+            op = wr.opcode
+            if not op.is_one_sided or wr.ah is not None or wr.flushed:
+                return False
+            length = wr.length
+            key = (op, length)
+            g = geo.get(key)
+            if g is None:
+                req_payload = length if op.carries_request_payload else 0
+                resp_payload = length if op.response_carries_payload else 0
+                req_nbytes = req_payload + packets(req_payload) * header
+                resp_nbytes = resp_payload + packets(resp_payload) * rheader
+                required = REQUIRED_REMOTE_ACCESS.get(op, none_flags)
+                # new opcode: check its flags against every MR seen
+                for _, _, access in mr_bounds.values():
+                    if required and not (access & required):
+                        return False
+                g = geo[key] = (
+                    pcie_spec.dma_occupancy_ns(64 + req_payload),
+                    req_nbytes,
+                    bytes_to_bits(req_nbytes) * SECONDS / line_rate,
+                    resp_nbytes,
+                    bytes_to_bits(resp_nbytes) * SECONDS / rline_rate,
+                    rpcie_spec.dma_occupancy_ns(
+                        16 if op.is_atomic else length
+                    ),
+                    op.response_carries_payload or op.is_atomic,
+                )
+            rkey = wr.rkey
+            bounds = mr_bounds.get(rkey)
+            if bounds is None:
+                mr = mr_by_rkey(rkey)
+                if mr._destroyed:
+                    return False
+                access = mr.access
+                # new MR: check its flags against every opcode seen
+                for gkey in geo:
+                    required = REQUIRED_REMOTE_ACCESS.get(gkey[0], none_flags)
+                    if required and not (access & required):
+                        return False
+                bounds = mr_bounds[rkey] = (mr.addr, mr.end, access)
+            mr_addr = bounds[0]
+            ra = wr.remote_addr
+            if ra < mr_addr or ra + length > bounds[1]:
+                return False
+            la = wr.local_addr
+            # local-buffer fault would raise out of the data stage
+            if la < lm_base or la + length > lm_end:
+                return False
+            keys_append(key)
+            offsets_append(ra - mr_addr)
+            sizes_append(length)
+            if rkey != rkey0:
+                same_rkey = False
+            if wr.signaled:
+                signaled += 1
+            if wr.inline:
+                n_inline += 1
+            req_total += g[1]
+            resp_total += g[3]
+    except RemoteAccessError:
+        return False
+    if signaled > cq.free_space:
+        return False
+
+    uniform = len(geo) == 1
+    g0 = geo[keys[0]]
+    if uniform:
+        fetch_svc = g0[0]
+        req_wire = g0[2]
+        resp_wire = g0[4]
+        data_svc = g0[5]
+    else:
+        fetch_svc = np.array([geo[k][0] for k in keys], dtype=np.float64)
+        req_wire = np.array([geo[k][2] for k in keys], dtype=np.float64)
+        resp_wire = np.array([geo[k][4] for k in keys], dtype=np.float64)
+        data_svc = np.array([geo[k][5] for k in keys], dtype=np.float64)
+
+    rt_req = pcie_spec.tlp_latency_ns * (1.0 + rnic.pcie.background_utilization)
+    if n_inline == n:
+        fetch_extra = 0.0
+    elif n_inline == 0:
+        fetch_extra = rt_req
+    else:
+        fetch_extra = np.fromiter(
+            (0.0 if wr.inline else rt_req for wr in wrs), np.float64, n
+        )
+
+    # ------------------------------------------------------------------
+    # Requester-side sweeps on shadow station state
+    # ------------------------------------------------------------------
+    advance = batch_advance_for(sim)
+    now = sim.now
+    doorbell = spec.doorbell_ns
+    arr = np.empty(n, dtype=np.float64)
+    arr[:] = now
+    arr[0] = now + doorbell
+    if doorbell > 0.0:
+        # WQE 0 rings the doorbell and fetches *last*: its event fires
+        # doorbell_ns after the zero-delay fetches of WQEs 1..n-1.
+        order1 = np.empty(n, dtype=np.int64)
+        order1[: n - 1] = np.arange(1, n, dtype=np.int64)
+        order1[n - 1] = 0
+        last_fetch = now + doorbell
+    else:
+        order1 = None
+        last_fetch = now
+
+    p_bu, p_inf, p_bns, p_wns = rnic.pcie.batch_state()
+    p_bu, p_bns, p_wns = advance(
+        arr, fetch_svc, fetch_extra, order1, p_bu, p_inf, p_bns, p_wns
+    )
+    if order1 is None:
+        order2 = np.argsort(arr, kind="stable")
+    else:
+        order2 = order1[np.argsort(arr[order1], kind="stable")]
+
+    t_bu, t_inf, t_bns, t_wns = rnic.txpu.batch_state()
+    t_bu, t_bns, t_wns = advance(
+        arr, spec.txpu_ns, 0.0, order2, t_bu, t_inf, t_bns, t_wns
+    )
+    transit_req = rnic._transit_ns(responder)
+    w_bu, w_inf, w_bns, w_wns = rnic.wire_tx.batch_state()
+    w_bu, w_bns, w_wns = advance(
+        arr, req_wire, transit_req, order2, w_bu, w_inf, w_bns, w_wns
+    )
+    rr_bu, rr_inf, rr_bns, rr_wns = responder.rxpu.batch_state()
+    rr_bu, rr_bns, rr_wns = advance(
+        arr, rspec.rxpu_ns, 0.0, order2, rr_bu, rr_inf, rr_bns, rr_wns
+    )
+
+    # Hazard gate: the requester PCIe engine serves both WQE fetches and
+    # CQE writes.  The plan admits all fetches before all CQE writes,
+    # which matches scalar event order only if every response re-entry
+    # lands at or after the last fetch event (downstream times only
+    # grow, so the translate arrivals are a safe lower bound).  Equal
+    # times are fine: the fetch was scheduled first and fires first.
+    if float(arr.min()) < last_fetch:
+        return False
+
+    # ------------------------------------------------------------------
+    # Commit point — mutations from here on, no fallback
+    # ------------------------------------------------------------------
+    wrs = list(wrs)
+    for wr in wrs:
+        wr.post_time = now
+    order2_list = order2.tolist()
+    translation = responder.translation
+    if same_rkey:
+        if n >= _VECTOR_MIN:
+            finishes = translation.admit_batch(
+                arr[order2],
+                rkey0,
+                np.asarray(offsets, dtype=np.int64)[order2],
+                np.asarray(sizes, dtype=np.int64)[order2],
+            )
+        else:
+            finishes = translation.admit_batch(
+                arr[order2].tolist(),
+                rkey0,
+                [offsets[i] for i in order2_list],
+                [sizes[i] for i in order2_list],
+            )
+    else:
+        admit = translation.admit
+        finishes = [
+            admit(float(arr[i]), wrs[i].rkey, offsets[i], sizes[i])[0]
+            for i in order2_list
+        ]
+    arr[order2] = finishes
+
+    # semantic data movement, validated above (bounds, flags, liveness)
+    remote_mem = remote_ctx.memory
+    for i in order2_list:
+        move_one_sided(local_mem, remote_mem, wrs[i])
+
+    rt_resp = rpcie_spec.tlp_latency_ns * (
+        1.0 + responder.pcie.background_utilization
+    )
+    if not rspec.ddio_enabled:
+        if uniform:
+            data_extra = rt_resp if g0[6] else 0.0
+        else:
+            data_extra = np.fromiter(
+                (rt_resp if geo[k][6] else 0.0 for k in keys), np.float64, n
+            )
+    else:
+        # DDIO draws happen inside the data stage, in event order: draw
+        # sequentially over order2 so the stream advances exactly as the
+        # scalar path's per-message rng.random() calls would.
+        rng = responder._ddio_rng
+        hit_rate = rspec.ddio_hit_rate
+        saving = rspec.ddio_saving_ns
+        penalty = rspec.ddio_miss_penalty_ns
+        data_extra = np.zeros(n, dtype=np.float64)
+        for i in order2_list:
+            if geo[keys[i]][6]:
+                extra = rt_resp
+                if rng.random() < hit_rate:
+                    extra -= saving
+                else:
+                    extra += penalty
+                data_extra[i] = extra
+
+    rp_bu, rp_inf, rp_bns, rp_wns = responder.pcie.batch_state()
+    rp_bu, rp_bns, rp_wns = advance(
+        arr, data_svc, data_extra, order2, rp_bu, rp_inf, rp_bns, rp_wns
+    )
+    order3 = order2[np.argsort(arr[order2], kind="stable")]
+
+    rt_bu, rt_inf, rt_bns, rt_wns = responder.txpu.batch_state()
+    rt_bu, rt_bns, rt_wns = advance(
+        arr, rspec.txpu_ns, 0.0, order3, rt_bu, rt_inf, rt_bns, rt_wns
+    )
+    transit_resp = responder._transit_ns(rnic)
+    rw_bu, rw_inf, rw_bns, rw_wns = responder.wire_tx.batch_state()
+    rw_bu, rw_bns, rw_wns = advance(
+        arr, resp_wire, transit_resp, order3, rw_bu, rw_inf, rw_bns, rw_wns
+    )
+    x_bu, x_inf, x_bns, x_wns = rnic.rxpu.batch_state()
+    x_bu, x_bns, x_wns = advance(
+        arr, spec.rxpu_ns, 0.0, order3, x_bu, x_inf, x_bns, x_wns
+    )
+    # CQE writes continue the requester PCIe shadow carried from the
+    # fetch sweep (the hazard gate above proved this interleaving).
+    p_bu, p_bns, p_wns = advance(
+        arr, spec.cqe_write_ns, 0.0, order3, p_bu, p_inf, p_bns, p_wns
+    )
+
+    rnic.pcie.batch_commit(p_bu, p_bns, p_wns, 2 * n)
+    rnic.txpu.batch_commit(t_bu, t_bns, t_wns, n)
+    rnic.wire_tx.batch_commit(w_bu, w_bns, w_wns, n)
+    rnic.rxpu.batch_commit(x_bu, x_bns, x_wns, n)
+    responder.rxpu.batch_commit(rr_bu, rr_bns, rr_wns, n)
+    responder.pcie.batch_commit(rp_bu, rp_bns, rp_wns, n)
+    responder.txpu.batch_commit(rt_bu, rt_bns, rt_wns, n)
+    responder.wire_tx.batch_commit(rw_bu, rw_bns, rw_wns, n)
+
+    tc = qp.traffic_class
+    rnic.counters.record_tx_bulk(
+        req_total, n, tc=tc, opcodes=[wrs[i].opcode for i in order2_list]
+    )
+    responder.counters.record_rx_bulk(req_total, n, tc=tc)
+    responder.counters.record_tx_bulk(resp_total, n, tc=tc)
+    rnic.counters.record_rx_bulk(resp_total, n, tc=tc)
+
+    # ------------------------------------------------------------------
+    # Completion drainer: signaled WQEs get their own event at their
+    # scalar CQE timestamp; a run of unsignaled WQEs rides the next
+    # signaled event (each still retires with its own timestamp — the
+    # states at every CQE delivery, the only points a barrier driver
+    # can observe, are unchanged).  A trailing unsignaled run gets one
+    # event at the run's final timestamp so the cohort fully drains.
+    # complete_send skips WQEs flushed while the cohort was in flight,
+    # exactly like the scalar completion stage.
+    cqe_times = arr.tolist()
+    order3_list = order3.tolist()
+    schedule_at = sim.schedule_at
+    complete = qp.complete_send
+
+    def _deliver(group: list) -> None:
+        for k in group:
+            complete(wrs[k], success, cqe_times[k])
+
+    run: list = []
+    for k in order3_list:
+        if wrs[k].signaled:
+            t = cqe_times[k]
+            if run:
+                run.append(k)
+                schedule_at(t, _deliver, run)
+                run = []
+            else:
+                schedule_at(t, complete, wrs[k], success, t)
+        else:
+            run.append(k)
+    if run:
+        schedule_at(cqe_times[run[-1]], _deliver, run)
+    return True

@@ -38,7 +38,10 @@ class SetAssocCache:
     def access(self, key: Hashable) -> bool:
         """Touch ``key``; returns True on hit.  Misses insert the key,
         evicting the set's LRU entry if the set is full."""
-        target = self._set_for(key)
+        # _set_for inlined: access() runs twice per translation admit
+        # (MPT + MTT), which makes it the hottest cache entry point on
+        # the batched descriptor path.
+        target = self._sets[hash(key) % self.sets]
         if key in target:
             target.move_to_end(key)
             self.hits += 1

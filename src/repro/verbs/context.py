@@ -138,6 +138,19 @@ class Context:
             raise RemoteAccessError(f"unknown or deregistered rkey {rkey}")
         return mr
 
+    def mr_by_lkey(self, lkey: int) -> MemoryRegion:
+        """Resolve a local protection key (post-time SGE validation).
+
+        lkeys share the rkey namespace (``reg_mr`` assigns them from
+        one counter, as real providers commonly do), but a bad *local*
+        key is a caller bug caught at post time, hence
+        :class:`ResourceError` rather than the remote-fault type.
+        """
+        mr = self._mr_by_rkey.get(lkey)
+        if mr is None or mr.destroyed:
+            raise ResourceError(f"unknown or deregistered lkey {lkey}")
+        return mr
+
     @property
     def live_mr_count(self) -> int:
         return sum(1 for mr in self._mr_by_rkey.values() if not mr.destroyed)

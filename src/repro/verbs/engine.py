@@ -44,6 +44,61 @@ def resolve_remote_qp(qp: "QueuePair", wr: SendWR) -> "QueuePair":
     return qp.remote_qp
 
 
+def precheck_one_sided(qp: "QueuePair", wr: SendWR) -> WCStatus:
+    """The status :func:`execute_data_movement` *would* return for a
+    one-sided WQE, computed without side effects.
+
+    Reference twin of the fused eligibility check inside
+    ``repro.rnic.batch.try_fast_path`` (which memoizes the MR lookup
+    and access-flag tests across a cohort instead of re-deriving them
+    per WQE); the batch equivalence suite asserts the two agree.  Only
+    the remote MR validation (bounds + access flags) is modelled here —
+    local-buffer faults raise out of the data stage on both paths and
+    are prechecked separately.
+    """
+    remote_qp = resolve_remote_qp(qp, wr)
+    required = REQUIRED_REMOTE_ACCESS.get(wr.opcode, AccessFlags.NONE)
+    try:
+        mr = remote_qp.context.mr_by_rkey(wr.rkey)
+        mr.check_remote(wr.remote_addr, wr.length, required)
+    except RemoteAccessError:
+        return WCStatus.REM_ACCESS_ERR
+    return WCStatus.SUCCESS
+
+
+def move_one_sided(local_mem, remote_mem, wr: SendWR) -> None:
+    """Byte movement of a *validated* one-sided WQE.
+
+    The semantic core shared by :func:`execute_data_movement` (which
+    validates first) and the batched descriptor fast path (which proves
+    a whole cohort's bounds and permissions up front, then calls this
+    per descriptor with no per-message re-validation).  Payload moves
+    use the memories' prechecked accessors; the 8-byte atomics keep the
+    checked u64 helpers (they are off the hot path and share the
+    little-endian packing in one place).
+    """
+    opcode = wr.opcode
+    if opcode is Opcode.RDMA_READ:
+        local_mem.write_prechecked(
+            wr.local_addr, remote_mem.read_prechecked(wr.remote_addr, wr.length)
+        )
+    elif opcode is Opcode.RDMA_WRITE:
+        remote_mem.write_prechecked(
+            wr.remote_addr, local_mem.read_prechecked(wr.local_addr, wr.length)
+        )
+    elif opcode is Opcode.ATOMIC_FETCH_ADD:
+        old = remote_mem.read_u64(wr.remote_addr)
+        remote_mem.write_u64(wr.remote_addr, old + wr.compare_add)
+        local_mem.write_u64(wr.local_addr, old)
+    elif opcode is Opcode.ATOMIC_CMP_SWP:
+        old = remote_mem.read_u64(wr.remote_addr)
+        if old == wr.compare_add:
+            remote_mem.write_u64(wr.remote_addr, wr.swap)
+        local_mem.write_u64(wr.local_addr, old)
+    else:  # pragma: no cover - callers gate on is_one_sided
+        raise ValueError(f"{opcode} is not a one-sided opcode")
+
+
 def execute_data_movement(qp: "QueuePair", wr: SendWR) -> WCStatus:
     """Perform the semantic effect of a one-sided WQE.
 
@@ -82,6 +137,8 @@ def execute_data_movement(qp: "QueuePair", wr: SendWR) -> WCStatus:
                                wr.post_time)
         return WCStatus.SUCCESS
 
+    if not opcode.is_one_sided:  # pragma: no cover - defensive
+        return WCStatus.REM_INV_REQ_ERR
     required = REQUIRED_REMOTE_ACCESS.get(opcode, AccessFlags.NONE)
     try:
         mr = remote_ctx.mr_by_rkey(wr.rkey)
@@ -89,23 +146,11 @@ def execute_data_movement(qp: "QueuePair", wr: SendWR) -> WCStatus:
     except RemoteAccessError:
         return WCStatus.REM_ACCESS_ERR
 
-    if opcode is Opcode.RDMA_WRITE:
-        data = local_mem.read(wr.local_addr, wr.length)
-        remote_mem.write(wr.remote_addr, data)
-    elif opcode is Opcode.RDMA_READ:
-        data = remote_mem.read(wr.remote_addr, wr.length)
-        local_mem.write(wr.local_addr, data)
-    elif opcode is Opcode.ATOMIC_FETCH_ADD:
-        old = remote_mem.read_u64(wr.remote_addr)
-        remote_mem.write_u64(wr.remote_addr, old + wr.compare_add)
-        local_mem.write_u64(wr.local_addr, old)
-    elif opcode is Opcode.ATOMIC_CMP_SWP:
-        old = remote_mem.read_u64(wr.remote_addr)
-        if old == wr.compare_add:
-            remote_mem.write_u64(wr.remote_addr, wr.swap)
-        local_mem.write_u64(wr.local_addr, old)
-    else:  # pragma: no cover - defensive
-        return WCStatus.REM_INV_REQ_ERR
+    # a local buffer outside host memory raises (caller bug, not a
+    # remote fault) — the same IndexError the checked read/write of the
+    # pre-mover implementation surfaced from inside the movement
+    local_mem._check(wr.local_addr, wr.length)
+    move_one_sided(local_mem, remote_mem, wr)
     return WCStatus.SUCCESS
 
 

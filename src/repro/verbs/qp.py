@@ -13,7 +13,7 @@ from repro.verbs.enums import (
     WCStatus,
 )
 from repro.verbs.errors import QPStateError, QueueFullError, ResourceError
-from repro.verbs.wr import RecvWR, SendWR, WorkCompletion
+from repro.verbs.wr import RecvWR, SendWR, WorkCompletion, make_completion
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.verbs.cq import CompletionQueue
@@ -66,7 +66,13 @@ class QueuePair:
         self.state = QPState.RESET
         self.remote_qp: Optional["QueuePair"] = None
         self._outstanding_send = 0
-        self._inflight_sends: list[SendWR] = []
+        #: Posted-but-incomplete send WQEs, keyed by object identity.
+        #: Insertion-ordered (flush retires FIFO) with O(1) removal —
+        #: the old list scanned by dataclass value-equality, which was
+        #: quadratic in queue depth on the completion hot path (and
+        #: could alias two identical WQEs).  Keys stay unique because
+        #: the dict holds its WQEs alive while they are present.
+        self._inflight_sends: dict[int, SendWR] = {}
         self._recv_queue: list[RecvWR] = []
         self._destroyed = False
         #: Grain-III defense counters: what per-QP telemetry exposes.
@@ -93,7 +99,7 @@ class QueuePair:
         if new_state is QPState.ERR:
             self.flush()
         elif new_state is QPState.RESET:
-            for wr in self._inflight_sends:
+            for wr in self._inflight_sends.values():
                 wr.flushed = True
             self._inflight_sends.clear()
             self._outstanding_send = 0
@@ -148,6 +154,14 @@ class QueuePair:
             raise ResourceError(f"QP {self.qp_num} destroyed")
         if self.state is not QPState.RTS:
             raise QPStateError(f"QP {self.qp_num} not RTS (is {self.state})")
+        if wr.lkey is not None:
+            mr = self.context.mr_by_lkey(wr.lkey)
+            if not mr.contains(wr.local_addr, wr.length):
+                raise ResourceError(
+                    f"QP {self.qp_num}: SGE [{wr.local_addr:#x}, "
+                    f"+{wr.length}) outside lkey={wr.lkey} MR "
+                    f"[{mr.addr:#x}, {mr.end:#x})"
+                )
         if self.qp_type is QPType.UD:
             if wr.opcode is not Opcode.SEND:
                 raise QPStateError("UD supports SEND/RECV only")
@@ -184,7 +198,7 @@ class QueuePair:
             )
         wr.queue_ahead = self._outstanding_send
         self._outstanding_send += 1
-        self._inflight_sends.append(wr)
+        self._inflight_sends[id(wr)] = wr
         self._account(wr)
         self.context.engine.post_send(self, wr)
 
@@ -193,6 +207,62 @@ class QueuePair:
         self.bytes_posted += wr.length
         self.opcode_counts[wr.opcode] = self.opcode_counts.get(wr.opcode, 0) + 1
         self.size_counts[wr.length] = self.size_counts.get(wr.length, 0) + 1
+
+    def _validate_send_batch(self, wrs: list[SendWR]) -> None:
+        """:meth:`_validate_send` over a whole batch, with the per-QP
+        checks hoisted out of the loop and the per-opcode transport
+        checks memoized.
+
+        Raises the same exception the scalar per-WQE sweep would raise,
+        at the same WQE: the hoisted checks (destroyed, state) do not
+        depend on the WQE at all, and the loop preserves the scalar
+        check order for everything that does.
+        """
+        if self._destroyed:
+            raise ResourceError(f"QP {self.qp_num} destroyed")
+        if self.state is not QPState.RTS:
+            raise QPStateError(f"QP {self.qp_num} not RTS (is {self.state})")
+        if self.qp_type is QPType.UD:
+            for wr in wrs:
+                self._validate_send(wr)
+            return
+        disconnected = self.remote_qp is None
+        qp_type = self.qp_type
+        max_inline = self.cap.max_inline_data
+        checked_ops: dict[Opcode, bool] = {}
+        for wr in wrs:
+            if wr.lkey is not None:
+                mr = self.context.mr_by_lkey(wr.lkey)
+                if not mr.contains(wr.local_addr, wr.length):
+                    raise ResourceError(
+                        f"QP {self.qp_num}: SGE [{wr.local_addr:#x}, "
+                        f"+{wr.length}) outside lkey={wr.lkey} MR "
+                        f"[{mr.addr:#x}, {mr.end:#x})"
+                    )
+            if disconnected:
+                raise QPStateError(f"QP {self.qp_num} is not connected")
+            op = wr.opcode
+            needs_remote = checked_ops.get(op)
+            if needs_remote is None:
+                if op is Opcode.RDMA_READ and not qp_type.supports_rdma_read:
+                    raise QPStateError(
+                        f"{qp_type} does not support RDMA READ"
+                    )
+                if op.is_atomic and not qp_type.supports_atomics:
+                    raise QPStateError(f"{qp_type} does not support atomics")
+                needs_remote = checked_ops[op] = op.needs_remote_addr
+            if needs_remote and (wr.remote_addr is None or wr.rkey is None):
+                raise QPStateError(f"{op} requires remote_addr and rkey")
+            if wr.inline:
+                if not op.carries_request_payload:
+                    raise QPStateError(
+                        f"{op} cannot be posted inline (no request payload)"
+                    )
+                if wr.length > max_inline:
+                    raise QPStateError(
+                        f"inline length {wr.length} exceeds max_inline_data "
+                        f"{max_inline}"
+                    )
 
     def post_send_batch(self, wrs: list[SendWR]) -> None:
         """Post a WQE list with one doorbell (``ibv_post_send``'s
@@ -208,17 +278,33 @@ class QueuePair:
                 f"QP {self.qp_num}: batch of {len(wrs)} exceeds free "
                 f"send-queue space ({self.send_queue_free})"
             )
+        # Validate every WQE before posting any: a bad entry (QP state,
+        # lkey, inline rules) rejects the whole batch atomically, on
+        # the engine-batched and fallback paths alike.
+        self._validate_send_batch(wrs)
         engine_batch = getattr(self.context.engine, "post_send_batch", None)
         if engine_batch is not None:
             # the engine amortizes the doorbell; it calls back into
-            # complete_send per WQE as usual
+            # complete_send per WQE as usual.  Accounting is the batched
+            # unroll of _account: same totals, same per-opcode/per-size
+            # histograms, one pass.
+            out = self._outstanding_send
+            inflight = self._inflight_sends
+            opcode_counts = self.opcode_counts
+            size_counts = self.size_counts
+            bytes_here = 0
             for wr in wrs:
-                self._validate_send(wr)
-            for wr in wrs:
-                wr.queue_ahead = self._outstanding_send
-                self._outstanding_send += 1
-                self._inflight_sends.append(wr)
-                self._account(wr)
+                wr.queue_ahead = out
+                out += 1
+                inflight[id(wr)] = wr
+                length = wr.length
+                op = wr.opcode
+                bytes_here += length
+                opcode_counts[op] = opcode_counts.get(op, 0) + 1
+                size_counts[length] = size_counts.get(length, 0) + 1
+            self._outstanding_send = out
+            self.total_posted += len(wrs)
+            self.bytes_posted += bytes_here
             engine_batch(self, wrs)
             return
         for wr in wrs:
@@ -265,11 +351,10 @@ class QueuePair:
         self._outstanding_send -= 1
         self.total_completed += 1
         wr.complete_time = now
-        if wr in self._inflight_sends:
-            self._inflight_sends.remove(wr)
+        self._inflight_sends.pop(id(wr), None)
         if wr.signaled:
             self.send_cq.push(
-                WorkCompletion(
+                make_completion(
                     wr_id=wr.wr_id,
                     status=status,
                     opcode=wr.opcode,
@@ -296,8 +381,9 @@ class QueuePair:
         if now is None:
             now = self.context.engine.now
         flushed = 0
-        while self._inflight_sends:
-            wr = self._inflight_sends.pop(0)
+        inflight = self._inflight_sends
+        while inflight:
+            wr = inflight.pop(next(iter(inflight)))
             wr.flushed = True
             wr.complete_time = now
             self._outstanding_send -= 1
@@ -305,7 +391,7 @@ class QueuePair:
             flushed += 1
             if wr.signaled:
                 self.send_cq.push(
-                    WorkCompletion(
+                    make_completion(
                         wr_id=wr.wr_id,
                         status=WCStatus.WR_FLUSH_ERR,
                         opcode=wr.opcode,

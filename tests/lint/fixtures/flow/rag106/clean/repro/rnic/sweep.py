@@ -1,0 +1,8 @@
+"""Clean twin: one pre-drawn buffer feeds the whole sweep."""
+
+
+def admit_sweep(sim, arrivals):
+    rng = sim.random.stream("tpu.admit")
+    delays = rng.exponential(120.0, size=len(arrivals))
+    return [arrival + delay
+            for arrival, delay in zip(arrivals, delays)]

@@ -1,0 +1,9 @@
+"""Fixture: a fresh named stream is drawn per descriptor element."""
+
+
+def admit_sweep(sim, arrivals):
+    served = []
+    for arrival in arrivals:
+        rng = sim.random.stream("tpu.admit")  # re-keyed every element
+        served.append(arrival + rng.exponential(120.0))
+    return served

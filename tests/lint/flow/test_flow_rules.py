@@ -9,7 +9,8 @@ from repro.lint.flow import run_flow
 
 FIXTURES = pathlib.Path(__file__).resolve().parents[1] / "fixtures" / "flow"
 
-RULES = ("rag100", "rag101", "rag102", "rag103", "rag104", "rag105")
+RULES = ("rag100", "rag101", "rag102", "rag103", "rag104", "rag105",
+         "rag106")
 
 
 def rule_ids(report):

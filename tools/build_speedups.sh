@@ -33,6 +33,36 @@ if ! command -v cc >/dev/null 2>&1; then
     exit 1
 fi
 
+# NumPy's C random API (distributions.h + libnpyrandom.a) powers the
+# TPU cohort-drain entry point (tpu_admit_batch): jitter draws in C
+# that are bit-identical to Generator.normal()/random()/exponential().
+# Optional — without it the extension still builds and translation
+# falls back to its pure-Python loop.
+NPY_FLAGS=""
+npy_probe="$("$PYTHON" - 2>/dev/null <<'EOF'
+import os
+try:
+    import numpy
+except ImportError:
+    raise SystemExit(1)
+inc = numpy.get_include()
+lib = os.path.join(os.path.dirname(numpy.__file__),
+                   "random", "lib", "libnpyrandom.a")
+hdr = os.path.join(inc, "numpy", "random", "distributions.h")
+if os.path.exists(lib) and os.path.exists(hdr):
+    print(inc)
+    print(lib)
+EOF
+)"
+if [ -n "$npy_probe" ]; then
+    npy_include="$(printf '%s\n' "$npy_probe" | sed -n 1p)"
+    npy_lib="$(printf '%s\n' "$npy_probe" | sed -n 2p)"
+    NPY_FLAGS="-DREPRO_HAVE_NPYRANDOM -I$npy_include"
+else
+    npy_lib=""
+    echo "build_speedups: numpy C random API not found; tpu_admit_batch disabled" >&2
+fi
+
 if [ "${1:-}" = "--check" ]; then
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" "$PYTHON" - <<'EOF'
 import sys
@@ -49,10 +79,11 @@ if [ "${1:-}" = "--sanitize" ]; then
     # Instrumented build: never skipped, never left ambiguous — the
     # caller is about to LD_PRELOAD the ASan runtime and run tests.
     set -x
+    # shellcheck disable=SC2086
     cc -O1 -g -fPIC -shared -fsanitize=address,undefined \
         -fno-sanitize-recover=undefined \
         -Wall -Wextra -Wno-unused-parameter \
-        -I"$include_dir" "$SRC" -o "$out"
+        -I"$include_dir" $NPY_FLAGS "$SRC" $npy_lib -lm -o "$out"
     set +x
     echo "build_speedups: built SANITIZED $out"
     echo "build_speedups: rebuild without --sanitize before benchmarking"
@@ -68,7 +99,8 @@ if [ -e "$out" ] && [ "$out" -nt "$SRC" ] \
 fi
 
 set -x
+# shellcheck disable=SC2086
 cc -O2 -fPIC -shared -Wall -Wextra -Wno-unused-parameter \
-    -I"$include_dir" "$SRC" -o "$out"
+    -I"$include_dir" $NPY_FLAGS "$SRC" $npy_lib -lm -o "$out"
 set +x
 echo "build_speedups: built $out"

@@ -10,7 +10,7 @@
 #   2. repro.lint    — BLOCKING: the repo's own determinism/invariant rules
 #                      (docs/LINT.md); fixture corpus is intentionally dirty
 #                      and excluded
-#   3. lint-flow     — BLOCKING: the whole-program pass (RAG100-RAG105)
+#   3. lint-flow     — BLOCKING: the whole-program pass (RAG100-RAG106)
 #                      over src/repro against tools/flow_baseline.json,
 #                      via tools/lint_flow_gate.py: a cold run (cache
 #                      deleted) and a warm run are both timed, and the
@@ -39,7 +39,9 @@
 #                      with a notice otherwise, and under --fast): the
 #                      accelerator is rebuilt with ASan+UBSan
 #                      (tools/build_speedups.sh --sanitize), the
-#                      cross-engine equivalence suite runs under it,
+#                      cross-engine equivalence suite and the batched
+#                      fast-path equivalence suite (covering
+#                      batch_advance and tpu_admit_batch) run under it,
 #                      then the optimized .so is restored before the
 #                      bench gate
 #  11. bench gate    — BLOCKING: simulator throughput vs the committed
@@ -118,8 +120,11 @@ elif [ -n "$asan_rt" ] && [ -e "$asan_rt" ] \
         && tools/build_speedups.sh --check >/dev/null 2>&1; then
     echo "== sanitizer smoke: ASan+UBSan engine equivalence (blocking) =="
     tools/build_speedups.sh --sanitize || fail=1
+    # the batch-equivalence suite drives batch_advance and the
+    # tpu_admit_batch serial tail in C, so both run sanitized here
     LD_PRELOAD="$asan_rt" ASAN_OPTIONS=detect_leaks=0 \
-        python -m pytest -q tests/sim/test_engines.py || fail=1
+        python -m pytest -q tests/sim/test_engines.py \
+        tests/rnic/test_batch_equivalence.py || fail=1
     # restore the optimized accelerator before anything times it
     tools/build_speedups.sh || fail=1
 else
