@@ -13,6 +13,11 @@ Detection side:
   detectors (:mod:`repro.obs.insight`) watching per-tenant counter
   *time series* rather than whole-run aggregates; reports detection
   latency, feeding Table I's online columns.
+* :class:`DetectorBankService` / :class:`BatchedCounterDefense` — the
+  same detector suite productionized (:mod:`repro.defense.service`):
+  vectorized NumPy state multiplexing 100K+ concurrent counter
+  streams, byte-identical verdicts to the scalar detectors
+  (docs/DEFENSE.md).
 
 Mitigation side (Section VII):
 
@@ -37,6 +42,12 @@ from repro.defense.online import (
     sample_counts,
 )
 from repro.defense.partition import PartitionedTranslationUnit, with_partitioning
+from repro.defense.service import (
+    BatchedCounterDefense,
+    DetectorBankService,
+    ingest_metrics_snapshots,
+    ingest_trace_jsonl,
+)
 
 __all__ = [
     "TenantProfile",
@@ -48,6 +59,10 @@ __all__ = [
     "CounterTrace",
     "OnlineCounterDefense",
     "OnlineVerdict",
+    "BatchedCounterDefense",
+    "DetectorBankService",
+    "ingest_trace_jsonl",
+    "ingest_metrics_snapshots",
     "sample_counts",
     "with_noise_mitigation",
     "PartitionedTranslationUnit",

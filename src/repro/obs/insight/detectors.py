@@ -30,6 +30,7 @@ never read a clock — timestamps come from the caller.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import math
 from typing import Optional, Sequence
@@ -102,21 +103,38 @@ class EwmaDetector(StreamingDetector):
     it).  ``min_rel_band`` floors the band at a fraction of the running
     mean so quantization noise on a near-constant series cannot alarm —
     a counter ticking 1000, 1001, 1000 is stationary, not an attack.
+
+    ``min_abs_band`` floors the band *absolutely*: an idle tenant whose
+    warm-up is all zeros has zero variance AND zero mean, so both the
+    EW band and the relative floor collapse to 0.0 — and a band of
+    exactly zero used to be treated as "degenerate, never alarm", which
+    silently suppressed the alarm on the very first level shift while
+    that shifted sample dragged the baseline toward the attack level (a
+    dead zone exactly where a defender most wants sensitivity).  With
+    the absolute epsilon floor the band stays positive, so the first
+    nonzero sample off an idle baseline alarms and (being alarmed) is
+    kept out of the baseline.
     """
 
     name = "ewma"
 
     def __init__(self, alpha: float = 0.25, k: float = 5.0,
-                 warmup: int = 8, min_rel_band: float = 0.25) -> None:
+                 warmup: int = 8, min_rel_band: float = 0.25,
+                 min_abs_band: float = 1e-9) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
         if k <= 0 or warmup < 2:
             raise ValueError("need positive k and warmup >= 2")
+        if min_abs_band <= 0.0:
+            raise ValueError(
+                f"min_abs_band must be positive (it exists to keep a "
+                f"degenerate zero baseline alarmable), got {min_abs_band}")
         super().__init__()
         self.alpha = alpha
         self.k = k
         self.warmup = warmup
         self.min_rel_band = min_rel_band
+        self.min_abs_band = min_abs_band
         self._mean = 0.0
         self._var = 0.0
 
@@ -130,9 +148,10 @@ class EwmaDetector(StreamingDetector):
         if self._samples == self.warmup + 1:
             self._var /= max(self.warmup - 1, 1)
         band = self.k * math.sqrt(self._var)
-        band = max(band, self.min_rel_band * abs(self._mean))
+        band = max(band, self.min_rel_band * abs(self._mean),
+                   self.min_abs_band)
         residual = value - self._mean
-        alarmed = abs(residual) > band and band > 0.0
+        alarmed = abs(residual) > band
         if alarmed and not self._reason:
             self._reason = (f"sample {value:.6g} outside "
                             f"{self._mean:.6g} ± {band:.6g}")
@@ -199,6 +218,35 @@ class CusumDetector(StreamingDetector):
         return alarmed
 
 
+def periodicity_score(buffer: Sequence[float], min_cov: float,
+                      power_of_two_only: bool) -> tuple[float, int]:
+    """Score one full window for periodic modulation.
+
+    Returns ``(best autocorrelation score, best lag)`` — ``(0.0, 0)``
+    when the window fails the coefficient-of-variation gate (a flat
+    series trivially correlates with itself).  Shared by the scalar
+    :class:`PeriodicityDetector` and the vectorized bank in
+    :mod:`repro.defense.service` so both paths score a window with the
+    exact same floating-point operation sequence (the parity guarantee
+    in docs/DEFENSE.md).
+    """
+    n = len(buffer)
+    mean = sum(buffer) / n
+    var = sum((v - mean) ** 2 for v in buffer) / n
+    if abs(mean) < 1e-12 or math.sqrt(var) / abs(mean) < min_cov:
+        return 0.0, 0
+    acf = autocorrelation(buffer, unbiased=True)
+    limit = max(n // 2, 2)
+    best_score, best_lag = 0.0, 0
+    for lag in range(2, limit):
+        if power_of_two_only and lag & (lag - 1):
+            continue
+        score = float(acf[lag])
+        if score > best_score:
+            best_score, best_lag = score, lag
+    return best_score, best_lag
+
+
 class PeriodicityDetector(StreamingDetector):
     """Windowed periodic-modulation detector.
 
@@ -227,27 +275,17 @@ class PeriodicityDetector(StreamingDetector):
         self.score_threshold = score_threshold
         self.min_cov = min_cov
         self.power_of_two_only = power_of_two_only
-        self._buffer: list[float] = []
+        # deque(maxlen) evicts the oldest sample in O(1); the previous
+        # ``del list[0]`` shifted the whole window on every observe
+        self._buffer: collections.deque[float] = collections.deque(
+            maxlen=window)
 
     def _alarm(self, ts: float, value: float) -> bool:
         self._buffer.append(value)
-        if len(self._buffer) > self.window:
-            del self._buffer[0]
         if len(self._buffer) < self.window or self._samples % self.stride:
             return False
-        mean = sum(self._buffer) / len(self._buffer)
-        var = sum((v - mean) ** 2 for v in self._buffer) / len(self._buffer)
-        if abs(mean) < 1e-12 or math.sqrt(var) / abs(mean) < self.min_cov:
-            return False
-        acf = autocorrelation(self._buffer, unbiased=True)
-        limit = max(len(self._buffer) // 2, 2)
-        best_score, best_lag = 0.0, 0
-        for lag in range(2, limit):
-            if self.power_of_two_only and lag & (lag - 1):
-                continue
-            score = float(acf[lag])
-            if score > best_score:
-                best_score, best_lag = score, lag
+        best_score, best_lag = periodicity_score(
+            self._buffer, self.min_cov, self.power_of_two_only)
         if best_score > self.score_threshold:
             if not self._reason:
                 self._reason = (f"periodic modulation at lag {best_lag} "

@@ -1,0 +1,87 @@
+"""The obs-artifact ingestion adapters: trace-JSONL counter records and
+metrics-registry snapshots flowing into a live DetectorBankService."""
+
+import json
+
+from repro.defense import (
+    DetectorBankService,
+    ingest_metrics_snapshots,
+    ingest_trace_jsonl,
+)
+
+
+def _counter_record(ts, component, name, args):
+    return {"ph": "C", "ts": ts, "component": component,
+            "name": name, "args": args}
+
+
+def test_trace_jsonl_streams_and_staleness(tmp_path):
+    records = [
+        _counter_record(1000.0, "telemetry.srv", "rx",
+                        {"bytes": 100, "pps": 10}),
+        {"ph": "X", "ts": 1500.0, "component": "rnic.server",
+         "name": "span", "dur": 5.0},  # non-counter: ignored
+        _counter_record(2000.0, "telemetry.srv", "rx",
+                        {"bytes": 180, "pps": 11}),
+        # duplicated sampler tick: same ts again -> dropped, not raised
+        _counter_record(2000.0, "telemetry.srv", "rx",
+                        {"bytes": 180, "pps": 11}),
+        _counter_record(2000.0, "covert.tx", "bits",
+                        {"sent": 4, "label": "frame0"}),  # non-numeric arg
+    ]
+    path = tmp_path / "run.trace.jsonl"
+    path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+
+    service = DetectorBankService()
+    summary = ingest_trace_jsonl(service, path)
+    assert summary == {"streams": 3, "samples": 5, "dropped": 2}
+    assert "telemetry.srv/rx/bytes" in service
+    assert "telemetry.srv/rx/pps" in service
+    assert "covert.tx/bits/sent" in service
+    assert "covert.tx/bits/label" not in service
+    verdict = service.verdict("telemetry.srv/rx/bytes")
+    assert verdict.tenant == "telemetry.srv"
+    assert verdict.detections["ewma"].samples == 2
+
+
+def test_trace_jsonl_component_filter(tmp_path):
+    path = tmp_path / "run.trace.jsonl"
+    path.write_text("\n".join(json.dumps(r) for r in [
+        _counter_record(1.0, "telemetry.srv", "rx", {"bytes": 1}),
+        _counter_record(1.0, "covert.tx", "bits", {"sent": 1}),
+    ]) + "\n")
+    service = DetectorBankService()
+    summary = ingest_trace_jsonl(
+        service, path, component_filter=lambda c: c.startswith("telemetry"))
+    assert summary["streams"] == 1
+    assert "covert.tx/bits/sent" not in service
+
+
+def test_metrics_snapshots_skip_histograms():
+    snapshots = [
+        (float(tick), {
+            "rnic.server": {
+                "mpt_hits": {"type": "counter", "value": 10 * tick},
+                "latency": {"type": "histogram",
+                            "value": {"count": 5, "sum": 1.0}},
+            },
+            "covert.tx": {"depth": {"type": "gauge", "value": 3.0}},
+        })
+        for tick in range(1, 9)
+    ]
+    service = DetectorBankService()
+    summary = ingest_metrics_snapshots(service, snapshots)
+    assert summary == {"streams": 2, "samples": 16, "dropped": 0}
+    assert "rnic.server/mpt_hits" in service
+    assert "covert.tx/depth" in service
+    assert "rnic.server/latency" not in service
+    assert service.verdict("covert.tx/depth").detections["ewma"].samples == 8
+
+
+def test_metrics_snapshots_drop_stale_ticks():
+    snapshot = {"c": {"n": {"type": "counter", "value": 1.0}}}
+    service = DetectorBankService()
+    summary = ingest_metrics_snapshots(
+        service, [(1.0, snapshot), (1.0, snapshot), (2.0, snapshot)])
+    assert summary["samples"] == 2
+    assert summary["dropped"] == 1

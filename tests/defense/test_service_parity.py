@@ -1,0 +1,229 @@
+"""Cross-implementation equivalence: the vectorized
+:class:`~repro.defense.service.DetectorBankService` must be
+*byte-identical* to the scalar :mod:`repro.obs.insight.detectors`
+suite — flags, flag counts, first-alarm timestamps, latencies, and
+reason strings — on every series family, in every multiplexing shape
+(whole-trace, tick-interleaved, duplicate-ids-in-one-batch, slot
+reuse after retirement).  Same contract shape as the engine
+equivalence suite in ``tests/sim/test_engines.py``: two
+implementations, one behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.defense.online import CounterTrace, OnlineCounterDefense
+from repro.defense.service import BatchedCounterDefense, DetectorBankService
+from repro.obs.insight.detectors import (
+    CusumDetector,
+    EwmaDetector,
+    PeriodicityDetector,
+    run_series,
+)
+
+_RNG = np.random.default_rng(20260808)
+
+#: One representative series per behaviour class the detectors carve
+#: out: silent, level shift, slow drift, square-wave modulation, the
+#: idle-tenant dead-zone shape, quantization noise, and plain noise.
+SERIES = {
+    "flat": [500.0] * 64,
+    "quantized": [1000.0, 1001.0] * 32,
+    "level_shift": [100.0] * 16 + [300.0] * 16,
+    "idle_then_active": [0.0] * 12 + [50.0] * 8,
+    "square_wave": ([10.0] * 8 + [30.0] * 8) * 8,
+    "noise": (100.0 + _RNG.normal(0.0, 3.0, 130)).tolist(),
+    "drift": (100.0 + np.arange(120) * 0.8
+              + _RNG.normal(0.0, 1.0, 120)).tolist(),
+    "impulse": [200.0] * 40 + [900.0] + [200.0] * 40,
+}
+
+
+def _trace(values, tenant="tenant", key="counter", start=1000.0,
+           step=1000.0):
+    return CounterTrace(
+        tenant=tenant, key=key,
+        times_ns=tuple(start + step * i for i in range(len(values))),
+        values=tuple(float(v) for v in values))
+
+
+def _assert_verdicts_identical(scalar, batched):
+    assert scalar.flagged == batched.flagged
+    assert scalar.detector == batched.detector
+    assert scalar.detection_latency_ns == batched.detection_latency_ns
+    assert scalar.flag_rate == batched.flag_rate
+    assert scalar.reason == batched.reason
+    assert set(scalar.detections) == set(batched.detections)
+    for name in scalar.detections:
+        # Detection is a frozen dataclass: == covers flags, samples,
+        # first_flag_ts (exact), and the reason string
+        assert scalar.detections[name] == batched.detections[name], name
+
+
+@pytest.fixture(params=sorted(SERIES), ids=sorted(SERIES))
+def family(request):
+    return request.param
+
+
+def test_watch_verdict_byte_identical(family):
+    trace = _trace(SERIES[family])
+    scalar = OnlineCounterDefense().watch(trace)
+    batched = BatchedCounterDefense().watch(trace)
+    assert scalar.tenant == batched.tenant
+    _assert_verdicts_identical(scalar, batched)
+
+
+def test_custom_tuned_detectors_vectorize(family):
+    factories = (
+        lambda: EwmaDetector(alpha=0.5, k=3.0, warmup=4,
+                             min_rel_band=0.1),
+        lambda: CusumDetector(k=0.25, h=3.0, warmup=4),
+        lambda: PeriodicityDetector(window=16, stride=4,
+                                    power_of_two_only=True),
+    )
+    trace = _trace(SERIES[family])
+    scalar = OnlineCounterDefense(factories).watch(trace)
+    batched = BatchedCounterDefense(factories).watch(trace)
+    _assert_verdicts_identical(scalar, batched)
+
+
+def test_multiplexed_interleaved_matches_scalar():
+    """Many streams of different lengths advanced tick-by-tick through
+    ONE service — the production shape — against stream-at-a-time
+    scalar runs."""
+    rng = np.random.default_rng(11)
+    streams = {}
+    for index in range(40):
+        length = int(rng.integers(70, 130))
+        base = float(rng.uniform(50.0, 150.0))
+        shift = float(rng.choice([0.0, 0.0, 40.0, 120.0]))
+        values = base + rng.normal(0.0, 2.0, length)
+        values[length // 2:] += shift
+        streams[f"s{index:02d}"] = values.tolist()
+
+    service = DetectorBankService(capacity=8)  # force growth too
+    service.admit_many(sorted(streams))
+    longest = max(len(v) for v in streams.values())
+    for tick in range(longest):
+        active = sorted(s for s, v in streams.items() if tick < len(v))
+        service.ingest(
+            active, 1000.0 * (tick + 1),
+            [streams[s][tick] for s in active])
+
+    scalar = OnlineCounterDefense()
+    for stream_id in sorted(streams):
+        trace = _trace(streams[stream_id], tenant=stream_id,
+                       key=stream_id)
+        expected = scalar.watch(trace)
+        got = service.verdict(stream_id)
+        _assert_verdicts_identical(expected, got)
+    # and the bulk readout agrees with the per-stream one
+    everything = service.verdicts()
+    assert sorted(everything) == sorted(streams)
+    for stream_id, verdict in everything.items():
+        _assert_verdicts_identical(service.verdict(stream_id), verdict)
+
+
+def test_duplicate_ids_in_one_batch_preserve_order():
+    """A batch carrying several samples for the same stream must apply
+    them in position order (sequential rounds), matching a sample-at-a-
+    time scalar feed."""
+    values = SERIES["level_shift"]
+    service = DetectorBankService()
+    service.admit("dup")
+    ids = ["dup"] * len(values)
+    times = [1000.0 * (i + 1) for i in range(len(values))]
+    service.ingest(ids, times, values)
+    expected = OnlineCounterDefense().watch(
+        _trace(values, tenant="dup", key="dup"))
+    _assert_verdicts_identical(expected, service.verdict("dup"))
+
+
+def test_retire_returns_final_verdict_and_reuses_slot():
+    service = DetectorBankService(capacity=1)
+    service.admit("hot", tenant="t0", key="evictions")
+    values = SERIES["level_shift"]
+    service.ingest(["hot"] * len(values),
+                   [1000.0 * (i + 1) for i in range(len(values))], values)
+    final = service.retire("hot")
+    assert final.flagged and final.tenant == "t0"
+    assert "hot" not in service
+    with pytest.raises(KeyError):
+        service.verdict("hot")
+    # the freed slot is reused with fully reset state
+    service.admit("cold")
+    assert service.capacity == 1
+    flat = SERIES["flat"]
+    service.ingest(["cold"] * len(flat),
+                   [1000.0 * (i + 1) for i in range(len(flat))], flat)
+    verdict = service.verdict("cold")
+    assert not verdict.flagged
+    assert verdict.reason == f"cold series stationary over {len(flat)} samples"
+    for detection in verdict.detections.values():
+        assert detection.flags == 0 and detection.samples == len(flat)
+        assert detection.first_flag_ts is None and detection.reason == ""
+
+
+def test_stationary_reason_matches_scalar_watch():
+    trace = _trace(SERIES["flat"], tenant="quiet", key="rx_pps")
+    scalar = OnlineCounterDefense().watch(trace)
+    batched = BatchedCounterDefense().watch(trace)
+    assert "stationary" in batched.reason
+    assert scalar.reason == batched.reason
+
+
+def test_watch_all_matches_scalar_combination():
+    scalar = OnlineCounterDefense()
+    batched = BatchedCounterDefense()
+    traces = [
+        _trace(SERIES["level_shift"], key="late", start=50_000.0),
+        _trace(SERIES["square_wave"], key="early", start=1_000.0),
+        _trace(SERIES["flat"], key="quiet", start=1_000.0),
+    ]
+    _assert_verdicts_identical(scalar.watch_all(traces),
+                               batched.watch_all(traces))
+
+
+def test_single_detector_suites_match(family):
+    for factory in (EwmaDetector, CusumDetector, PeriodicityDetector):
+        trace = _trace(SERIES[family])
+        scalar_detection = run_series(
+            factory(), list(trace.times_ns), list(trace.values))
+        batched = BatchedCounterDefense((factory,)).watch(trace)
+        assert batched.detections[factory.name] == scalar_detection
+
+
+def test_ingest_validation():
+    service = DetectorBankService()
+    service.admit("a")
+    with pytest.raises(ValueError):
+        service.ingest(["a"], [1.0, 2.0], [1.0])  # shape mismatch
+    service.ingest(["a"], 5.0, [1.0])
+    with pytest.raises(ValueError):
+        service.ingest(["a"], 5.0, [2.0])  # time must advance
+    with pytest.raises(KeyError):
+        service.ingest(["ghost"], 6.0, [1.0])  # never admitted
+    with pytest.raises(KeyError):
+        service.ingest_slots(np.asarray([99]), 6.0, [1.0])  # bad slot
+    with pytest.raises(ValueError):
+        service.admit("a")  # double admission
+    with pytest.raises(ValueError):
+        DetectorBankService(())
+    with pytest.raises(ValueError):
+        DetectorBankService(capacity=0)
+
+
+def test_unsupported_detector_type_raises():
+    class Exotic(EwmaDetector):
+        name = "exotic"
+
+    with pytest.raises(TypeError):
+        DetectorBankService((Exotic,))
+
+
+def test_admit_missing_auto_admits():
+    service = DetectorBankService()
+    service.ingest(["x", "y"], 1000.0, [1.0, 2.0], admit_missing=True)
+    assert "x" in service and "y" in service
+    assert service.stream_count == 2
+    assert service.ingested == 2
