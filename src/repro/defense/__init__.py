@@ -45,6 +45,7 @@ from repro.defense.partition import PartitionedTranslationUnit, with_partitionin
 from repro.defense.service import (
     BatchedCounterDefense,
     DetectorBankService,
+    VerdictLatencyTracker,
     ingest_metrics_snapshots,
     ingest_trace_jsonl,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "OnlineVerdict",
     "BatchedCounterDefense",
     "DetectorBankService",
+    "VerdictLatencyTracker",
     "ingest_trace_jsonl",
     "ingest_metrics_snapshots",
     "sample_counts",

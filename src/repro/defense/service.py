@@ -39,6 +39,7 @@ from __future__ import annotations
 import json
 import math
 import pathlib
+import statistics
 from typing import Callable, Iterable, Mapping, Optional, Sequence, Union
 
 import numpy as np
@@ -57,9 +58,14 @@ from repro.obs.insight.detectors import (
     StreamingDetector,
     periodicity_score,
 )
+from repro.sim.units import MICROSECONDS, SECONDS
 
 _F = np.float64
 _I = np.int64
+
+#: Exact microseconds-per-second factor (1e6) for latency display
+#: rounding, derived from the named ns-ladder constants.
+_US_PER_S = SECONDS / MICROSECONDS
 
 
 def _grown(array: np.ndarray, capacity: int, fill: float = 0.0) -> np.ndarray:
@@ -390,6 +396,53 @@ def _bank_for(proto: StreamingDetector, capacity: int) -> _VectorBank:
     return bank_cls(proto, capacity)
 
 
+class VerdictLatencyTracker:
+    """Verdict-readout latency samples with the exact percentile
+    formulas ``benchmarks/bench_defense_throughput.py`` reports.
+
+    The tracker is fed by :meth:`DetectorBankService.verdict` once
+    :meth:`DetectorBankService.enable_verdict_latency` arms it with an
+    injected monotonic clock (seconds; the service itself never reads
+    wall time — RAG001).  ``samples`` stays in arrival order so callers
+    can recompute any statistic from the raw data; the summary
+    percentiles use the same sorted-rank arithmetic as the bench, so
+    the two agree to the last digit on the same samples
+    (tests/defense/test_verdict_latency.py).
+    """
+
+    def __init__(self) -> None:
+        #: Raw readout latencies in seconds, arrival order.
+        self.samples: list[float] = []
+
+    def observe(self, seconds: float) -> None:
+        self.samples.append(float(seconds))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def quantile(self, q: float) -> float:
+        """Sorted-rank quantile in seconds: ``sorted[int(n * q)]``
+        (clamped to the last sample), matching the bench's p99."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.samples:
+            raise ValueError("no verdict latencies observed")
+        ordered = sorted(self.samples)
+        return ordered[min(len(ordered) - 1, int(len(ordered) * q))]
+
+    def summary(self) -> dict:
+        """``{"count", "p50_us", "p99_us"}`` with the bench's exact
+        rounding (microseconds, two decimals)."""
+        if not self.samples:
+            return {"count": 0, "p50_us": None, "p99_us": None}
+        return {
+            "count": len(self.samples),
+            "p50_us": round(statistics.median(self.samples) * _US_PER_S, 2),
+            "p99_us": round(self.quantile(0.99) * _US_PER_S, 2),
+        }
+
+
 class DetectorBankService:
     """Multiplexes many concurrent counter streams through vectorized
     detector banks.
@@ -436,6 +489,9 @@ class DetectorBankService:
         self._last_ts = np.full(capacity, -np.inf, dtype=_F)
         #: Total samples ever ingested (across retired streams too).
         self.ingested = 0
+        #: Armed by :meth:`enable_verdict_latency`.
+        self.verdict_latency: Optional[VerdictLatencyTracker] = None
+        self._verdict_clock: Optional[Callable[[], float]] = None
 
     # ------------------------------------------------------------------
     # Admission / retirement
@@ -616,11 +672,29 @@ class DetectorBankService:
     # ------------------------------------------------------------------
     # Readout
     # ------------------------------------------------------------------
+    def enable_verdict_latency(
+            self, clock: Callable[[], float]) -> VerdictLatencyTracker:
+        """Arm the per-stream verdict-latency SLO tracker (ROADMAP
+        item 5): every subsequent :meth:`verdict` readout is timed with
+        the **injected** ``clock`` (a zero-argument monotonic callable
+        returning seconds — e.g. ``time.perf_counter`` at the call
+        site; the service never reads wall time itself).  Returns the
+        tracker; re-arming replaces it with a fresh one."""
+        self.verdict_latency = VerdictLatencyTracker()
+        self._verdict_clock = clock
+        return self.verdict_latency
+
     def verdict(self, stream_id: str) -> OnlineVerdict:
         """The stream's current combined verdict — the same earliest-
         alarm-wins combination (and tie-break) as
         :meth:`OnlineCounterDefense.watch`."""
-        return self._slot_verdict(self._slots[stream_id])
+        slot = self._slots[stream_id]
+        if self._verdict_clock is None:
+            return self._slot_verdict(slot)
+        started = self._verdict_clock()
+        verdict = self._slot_verdict(slot)
+        self.verdict_latency.observe(self._verdict_clock() - started)
+        return verdict
 
     def verdicts(self) -> dict[str, OnlineVerdict]:
         """Every live stream's verdict, keyed by stream id (sorted for
@@ -659,6 +733,52 @@ class DetectorBankService:
             flag_rate=max(d.flag_rate for d in flagged),
             reason=first.reason,
             detections=detections)
+
+    def detection_latencies(self) -> dict[str, float]:
+        """Detection latency (ns of *sample time* between a stream's
+        first sample and its first alarm) for every currently flagged
+        stream, sorted by stream id.  Reads slots directly so an armed
+        :attr:`verdict_latency` tracker is not polluted with bulk
+        readouts."""
+        latencies: dict[str, float] = {}
+        for stream_id in self.flagged_streams():
+            verdict = self._slot_verdict(self._slots[stream_id])
+            if verdict.detection_latency_ns is not None:
+                latencies[stream_id] = verdict.detection_latency_ns
+        return latencies
+
+    def detection_latency_slo(self, budget_ns: float,
+                              percentile: float = 0.99) -> dict:
+        """Evaluate the per-stream detection-latency SLO: the given
+        percentile of flagged-stream detection latencies must sit
+        within ``budget_ns``.  A fleet with no flagged streams is
+        trivially compliant (nothing was detected late).  Returns a
+        structured verdict with a bounded sample of violating stream
+        ids for operator drill-down."""
+        if budget_ns <= 0:
+            raise ValueError(f"budget_ns must be positive, got {budget_ns}")
+        if not 0.0 < percentile <= 1.0:
+            raise ValueError(
+                f"percentile must be in (0, 1], got {percentile}")
+        latencies = self.detection_latencies()
+        violating = sorted(stream_id
+                           for stream_id, latency in latencies.items()
+                           if latency > budget_ns)
+        if latencies:
+            ordered = sorted(latencies.values())
+            value = ordered[min(len(ordered) - 1,
+                                int(len(ordered) * percentile))]
+        else:
+            value = 0.0
+        return {
+            "budget_ns": float(budget_ns),
+            "percentile": percentile,
+            "flagged": len(latencies),
+            "value_ns": value,
+            "compliant": value <= budget_ns,
+            "violations": len(violating),
+            "violating_streams": violating[:10],
+        }
 
     def state_bytes(self) -> int:
         """Allocated detector-state bytes (the bytes/stream metric in

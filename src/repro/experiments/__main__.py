@@ -33,6 +33,16 @@ Every finished experiment is checkpointed transactionally into
 recorded outputs still verify, so a killed sweep continues where it
 stopped and ends byte-identical to an uninterrupted run (see
 docs/RUNTIME.md).
+
+``--fleet-metrics`` (implied by ``--slo``) turns on the fleet
+telemetry plane: supervised workers stream metric deltas live over a
+dedicated pipe (progress lines + ``fleet_snapshots.jsonl`` as the run
+happens), and after the batch the canonical merged view is rebuilt
+deterministically from the per-task ``<name>.metrics.json`` files —
+``fleet_metrics.json`` plus, with ``--slo <spec.json>``, an evaluated
+``slo_report.json`` with burn-rate alerts (docs/OBSERVABILITY.md,
+"Fleet telemetry & SLOs").  Canonical artifacts are byte-identical
+between serial and ``--jobs`` runs of the same seed.
 """
 
 from __future__ import annotations
@@ -48,6 +58,12 @@ from repro.experiments.runner import (  # noqa: F401  (REGISTRY/FULL_SCALE re-ex
     TaskOutcome,
     _invoke,
     run_task,
+)
+from repro.obs.fleet import (
+    FleetAggregator,
+    SloSpecError,
+    load_spec,
+    write_fleet_artifacts,
 )
 from repro.runtime import (
     ManifestConfigMismatch,
@@ -157,12 +173,18 @@ def _outcome_of(result: TaskResult) -> TaskOutcome:
 
 def _run_supervised(names: list[str], args, manifest: RunManifest,
                     failures: dict[str, str],
-                    skipped: list[str]) -> None:
+                    skipped: list[str], spec=None) -> None:
     """The worker-process path: the supervised runtime with heartbeat
     liveness, deadlines, supervisor-level deterministic retry, and the
     circuit breaker.  Workers fall back to the module REGISTRY (a
     monkeypatched registry of local functions would not survive
-    pickling — same constraint the old pool had)."""
+    pickling — same constraint the old pool had).
+
+    With ``--fleet-metrics`` a live :class:`FleetAggregator` rides the
+    supervisor's telemetry pipes: streaming ``fleet_snapshots.jsonl``,
+    stderr progress lines, and immediate burn-rate alerts when ``spec``
+    is given.  The canonical artifacts are rewritten deterministically
+    afterwards by :func:`_finalize_fleet`."""
     specs = [
         TaskSpec(name=name, fn=run_task,
                  args=(name, args.seed, args.smoke, args.full, 0, args.out),
@@ -202,12 +224,53 @@ def _run_supervised(names: list[str], args, manifest: RunManifest,
             _report(buffered.pop(next_slot), args.out, failures)
             next_slot += 1
 
-    supervisor.run(specs,
-                   result_failure=lambda outcome: outcome.failure,
-                   on_complete=on_complete)
+    aggregator = None
+    telemetry = None
+    if args.fleet_metrics:
+        live_path = pathlib.Path(args.out) / "fleet_snapshots.jsonl"
+        aggregator = FleetAggregator(
+            tasks=names, live_path=live_path, spec=spec,
+            progress=lambda line: print(line, file=sys.stderr))
+        telemetry = aggregator.sink
+    try:
+        supervisor.run(specs,
+                       result_failure=lambda outcome: outcome.failure,
+                       on_complete=on_complete,
+                       telemetry=telemetry)
+    finally:
+        if aggregator is not None:
+            aggregator.close()
     # flush any outcomes stranded behind circuit-breaker skips
     for slot in sorted(buffered):
         _report(buffered.pop(slot), args.out, failures)
+
+
+def _finalize_fleet(out: str, all_names: list[str], spec) -> None:
+    """The canonical post-batch fleet pass: rebuild the merged fleet
+    artifacts deterministically from the committed per-task
+    ``<name>.metrics.json`` files (sorted task order), overwriting any
+    timing-shaped live stream — so serial, ``--jobs``, and ``--resume``
+    runs of one seed end byte-identical."""
+    result = write_fleet_artifacts(out, all_names, spec=spec)
+    if result is None:
+        print("[fleet: no per-task metrics found; nothing to merge]",
+              file=sys.stderr)
+        return
+    wrote = ", ".join(path.name for path in result["paths"])
+    print(f"[fleet: merged {len(result['tasks'])} task(s) -> {wrote}]",
+          file=sys.stderr)
+    report = result["report"]
+    if report is None:
+        return
+    verdict = "compliant" if report["compliant"] else "VIOLATED"
+    print(f"[slo: spec {report['spec']} {verdict}, "
+          f"{len(report['alerts'])} alert(s)]", file=sys.stderr)
+    for alert in report["alerts"]:
+        print(f"[slo: alert {alert['objective']} burned "
+              f"{alert['burn_rate']:g}x budget over "
+              f"{alert['window_ticks']}-tick window "
+              f"({alert['severity']}) at tick {alert['tick']}]",
+              file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -272,6 +335,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--metrics", action="store_true",
                         help="collect the repro.obs metrics registry and "
                              "write <name>.metrics.json")
+    parser.add_argument("--fleet-metrics", action="store_true",
+                        help="merge every experiment's metrics into a "
+                             "deterministic fleet_metrics.json + "
+                             "fleet_snapshots.jsonl (implies --metrics); "
+                             "supervised runs additionally stream the "
+                             "fleet view live over worker telemetry "
+                             "pipes")
+    parser.add_argument("--slo", type=pathlib.Path, default=None,
+                        metavar="SPEC",
+                        help="evaluate an SLO spec (JSON, see "
+                             "docs/OBSERVABILITY.md) against the fleet "
+                             "snapshots and write slo_report.json with "
+                             "burn-rate alerts (implies --fleet-metrics)")
     parser.add_argument("--report", action="store_true",
                         help="render each experiment's artifacts to a "
                              "deterministic <name>.report.md "
@@ -302,6 +378,17 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--max-failures must be >= 1")
     if args.trace_sample > 1:
         args.trace = True
+    if args.slo is not None:
+        args.fleet_metrics = True
+    if args.fleet_metrics:
+        args.metrics = True
+    spec = None
+    if args.slo is not None:
+        try:
+            spec = load_spec(args.slo)
+        except (OSError, json.JSONDecodeError, SloSpecError) as error:
+            print(f"error: --slo {args.slo}: {error}", file=sys.stderr)
+            return 2
 
     if args.list:
         for name in REGISTRY:
@@ -319,6 +406,8 @@ def main(argv: list[str] | None = None) -> int:
         "trace": args.trace, "trace_sample": args.trace_sample,
         "metrics": args.metrics, "profile": args.profile,
         "report": args.report, "batch": args.batch,
+        "fleet_metrics": args.fleet_metrics,
+        "slo": spec.name if spec is not None else None,
     }
     try:
         manifest = RunManifest.open(args.out, run_config,
@@ -328,6 +417,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     total = len(names)
+    all_names = list(names)
     if args.resume:
         resumed = [n for n in names if manifest.can_skip(n)]
         if resumed:
@@ -342,7 +432,11 @@ def main(argv: list[str] | None = None) -> int:
     if names and not supervised:
         _run_serial(names, args, manifest, failures, skipped)
     elif names:
-        _run_supervised(names, args, manifest, failures, skipped)
+        _run_supervised(names, args, manifest, failures, skipped,
+                        spec=spec)
+
+    if args.fleet_metrics:
+        _finalize_fleet(args.out, all_names, spec)
 
     if failures or skipped:
         completed = total - len(failures) - len(skipped)

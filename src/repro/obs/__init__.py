@@ -12,6 +12,10 @@ Three pieces, assembled by :mod:`repro.obs.runtime`:
   artifacts: :class:`TraceFrame` indexing, streaming change-point /
   periodicity detectors, ``python -m repro.obs report`` and
   ``python -m repro.obs diff``.
+* :mod:`repro.obs.fleet` — the cross-process telemetry plane: live
+  metric-delta streaming from supervised workers, deterministic fleet
+  snapshot merging, and the declarative SLO engine with burn-rate
+  alerting behind ``--slo`` / ``python -m repro.obs slo``.
 
 Everything is disabled by default; ``install(trace=..., metrics=...)``
 turns it on for the current process (the experiments CLI does this for
@@ -20,13 +24,26 @@ turns it on for the current process (the experiments CLI does this for
 
 from .exporters import (
     validate_chrome_trace,
+    validate_fleet_jsonl,
     validate_metrics_json,
     validate_path,
     validate_paths,
+    validate_slo_report,
     validate_trace_jsonl,
     write_chrome_trace,
     write_jsonl,
     write_metrics_json,
+)
+from .fleet import (
+    FleetAggregator,
+    SloEngine,
+    SloSpec,
+    SloSpecError,
+    evaluate_snapshots,
+    load_spec,
+    merge_snapshots,
+    snapshot_delta,
+    write_fleet_artifacts,
 )
 from .insight import (
     CusumDetector,
@@ -60,30 +77,41 @@ __all__ = [
     "DetectorBank",
     "DiffResult",
     "EwmaDetector",
+    "FleetAggregator",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "ObsSession",
     "PeriodicityDetector",
+    "SloEngine",
+    "SloSpec",
+    "SloSpecError",
     "TraceEvent",
     "TraceFrame",
     "Tracer",
     "attach_simulator",
     "diff_runs",
     "engine_tracer",
+    "evaluate_snapshots",
     "install",
+    "load_spec",
+    "merge_snapshots",
     "render_report",
     "register_rnic",
     "registry",
     "session",
+    "snapshot_delta",
     "tracer_for",
     "uninstall",
     "validate_chrome_trace",
+    "validate_fleet_jsonl",
     "validate_metrics_json",
     "validate_path",
     "validate_paths",
+    "validate_slo_report",
     "validate_trace_jsonl",
     "write_chrome_trace",
+    "write_fleet_artifacts",
     "write_jsonl",
     "write_metrics_json",
 ]

@@ -1,0 +1,226 @@
+"""The fleet-side aggregator: live streaming view + canonical artifacts.
+
+Two layers with different determinism contracts:
+
+* :class:`FleetAggregator` — the **live** view.  Plugged into
+  ``Supervisor.run(..., telemetry=aggregator.sink)``, it folds each
+  worker's shipped metric deltas into a per-task cumulative state,
+  appends merged fleet snapshots to ``fleet_snapshots.jsonl`` as they
+  arrive, feeds a live :class:`~repro.obs.fleet.slo.SloEngine` for
+  immediate burn-rate alerting, and emits periodic one-line progress
+  updates.  Live output is *timing-shaped* (revision count and
+  interleaving depend on scheduling) and therefore advisory.
+* :func:`write_fleet_artifacts` — the **canonical** pass.  After the
+  batch it rebuilds everything from the per-task ``<name>.metrics.json``
+  files in sorted task-name order: ``fleet_metrics.json`` (the merged
+  whole-run snapshot), a rewritten ``fleet_snapshots.jsonl`` (one final
+  line per task, prefix merges), and ``slo_report.json`` when a spec is
+  given.  Serial and ``--jobs N`` runs of the same seed produce
+  byte-identical canonical artifacts — the same discipline as every
+  other run artifact (tests/experiments/test_fleet_parallel.py).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Callable, Iterable, Optional
+
+from .merge import apply_delta, merge_snapshots
+from .slo import SloEngine, SloSpec, evaluate_snapshots
+
+#: Live progress cadence: one line per this many aggregator revisions
+#: (plus one on every task completion).
+PROGRESS_EVERY = 10
+
+
+def _count_rows(snapshot: dict) -> int:
+    total = 0
+    for metrics in snapshot.values():
+        if isinstance(metrics, dict):
+            total += len(metrics)
+    return total
+
+
+class FleetAggregator:
+    """Merge live worker telemetry into a streaming fleet view; see the
+    module docstring for the live-vs-canonical split."""
+
+    def __init__(self, tasks: Iterable[str],
+                 live_path=None,
+                 spec: Optional[SloSpec] = None,
+                 progress: Optional[Callable[[str], None]] = None,
+                 progress_every: int = PROGRESS_EVERY) -> None:
+        self._tasks = sorted(tasks)
+        self._state: dict = {}       # task -> cumulative snapshot
+        self._done: set = set()
+        #: Supervisor/runtime lifecycle events, in arrival order.
+        self.events: list = []
+        self.revision = 0
+        self._live_path = None if live_path is None \
+            else pathlib.Path(live_path)
+        self._live_handle = None
+        self.engine = None if spec is None else SloEngine(spec)
+        #: Alerts fired by the live engine (advisory; the canonical
+        #: alert list lives in slo_report.json).
+        self.live_alerts: list = []
+        self._progress = progress
+        self._progress_every = max(1, progress_every)
+
+    # ------------------------------------------------------------------
+    # The supervisor-facing sink
+    # ------------------------------------------------------------------
+    def sink(self, task: str, record: dict) -> None:
+        """The ``Supervisor.run(telemetry=...)`` callback: one shipped
+        record from one worker (or a forwarded runtime event)."""
+        if not isinstance(record, dict):
+            return
+        kind = record.get("kind")
+        if kind == "event":
+            event = record.get("event")
+            if isinstance(event, dict):
+                self.events.append({"task": task, **event})
+            return
+        if kind == "delta":
+            self._state[task] = apply_delta(
+                self._state.get(task, {}), record.get("delta") or {})
+        elif kind == "final":
+            snapshot = record.get("snapshot")
+            if isinstance(snapshot, dict) and snapshot:
+                self._state[task] = snapshot
+            else:
+                self._state[task] = apply_delta(
+                    self._state.get(task, {}), record.get("delta") or {})
+            self._done.add(task)
+        else:
+            return
+        self.revision += 1
+        fleet = self.fleet_snapshot()
+        self._write_live(task, kind, fleet)
+        if self.engine is not None:
+            for alert in self.engine.observe(fleet):
+                self.live_alerts.append(alert)
+                self._say(f"[fleet: SLO alert {alert['objective']} "
+                          f"burning {alert['burn_rate']:g}x budget over "
+                          f"{alert['window_ticks']}-tick window "
+                          f"({alert['severity']})]")
+        if kind == "final" or self.revision % self._progress_every == 0:
+            self._say(self._progress_line(fleet))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def fleet_snapshot(self) -> dict:
+        """The current merged fleet snapshot, folded in sorted
+        task-name order."""
+        return merge_snapshots(self._state[task]
+                               for task in sorted(self._state))
+
+    def tasks_done(self) -> int:
+        return len(self._done)
+
+    # ------------------------------------------------------------------
+    # Live output
+    # ------------------------------------------------------------------
+    def _say(self, line: str) -> None:
+        if self._progress is not None:
+            self._progress(line)
+
+    def _progress_line(self, fleet: dict) -> str:
+        alerts = f", {len(self.live_alerts)} alert(s)" \
+            if self.live_alerts else ""
+        return (f"[fleet: rev {self.revision}, "
+                f"{len(self._done)}/{len(self._tasks)} tasks done, "
+                f"{_count_rows(fleet)} metrics, "
+                f"{len(self.events)} events{alerts}]")
+
+    def _write_live(self, task: str, kind: str, fleet: dict) -> None:
+        if self._live_path is None:
+            return
+        if self._live_handle is None:
+            self._live_path.parent.mkdir(parents=True, exist_ok=True)
+            self._live_handle = self._live_path.open("w")
+        self._live_handle.write(json.dumps(
+            {"rev": self.revision, "kind": kind, "task": task,
+             "tasks_done": len(self._done), "metrics": fleet},
+            sort_keys=True) + "\n")
+        self._live_handle.flush()
+
+    def close(self) -> None:
+        if self._live_handle is not None:
+            self._live_handle.close()
+            self._live_handle = None
+
+
+# ----------------------------------------------------------------------
+# The canonical post-batch pass
+# ----------------------------------------------------------------------
+def collect_task_snapshots(run_dir, names: Optional[Iterable[str]] = None
+                           ) -> dict:
+    """Per-task metrics snapshots from a run directory, keyed by task
+    name.  With ``names`` given only those tasks are read; otherwise
+    every ``<name>.metrics.json`` (excluding ``fleet_metrics.json``)
+    counts."""
+    run_dir = pathlib.Path(run_dir)
+    snapshots: dict = {}
+    if names is None:
+        candidates = sorted(path.name[:-len(".metrics.json")]
+                            for path in run_dir.glob("*.metrics.json")
+                            if path.name != "fleet_metrics.json")
+    else:
+        candidates = sorted(set(names))
+    for name in candidates:
+        path = run_dir / f"{name}.metrics.json"
+        if not path.exists():
+            continue
+        payload = json.loads(path.read_text())
+        if isinstance(payload, dict):
+            snapshots[name] = payload
+    return snapshots
+
+
+def write_fleet_artifacts(run_dir,
+                          names: Optional[Iterable[str]] = None,
+                          spec: Optional[SloSpec] = None
+                          ) -> Optional[dict]:
+    """Write the canonical fleet artifacts for a finished run; returns
+    ``{"tasks", "paths", "snapshot", "report"}`` or ``None`` when the
+    run directory holds no per-task metrics.
+
+    Deterministic by construction: tasks are folded in sorted name
+    order from their committed ``<name>.metrics.json`` bytes, so serial
+    and ``--jobs`` runs (and reruns) of one seed agree byte-for-byte on
+    ``fleet_metrics.json``, ``fleet_snapshots.jsonl``, and
+    ``slo_report.json``.
+    """
+    run_dir = pathlib.Path(run_dir)
+    per_task = collect_task_snapshots(run_dir, names)
+    if not per_task:
+        return None
+    tasks = sorted(per_task)
+    lines = []
+    prefix_merges = []
+    merged: dict = {}
+    for index, task in enumerate(tasks):
+        merged = merge_snapshots([per_task[name]
+                                  for name in tasks[:index + 1]])
+        prefix_merges.append(merged)
+        lines.append(json.dumps(
+            {"rev": index + 1, "kind": "final", "task": task,
+             "tasks_done": index + 1, "metrics": merged},
+            sort_keys=True))
+    snapshots_path = run_dir / "fleet_snapshots.jsonl"
+    snapshots_path.write_text("\n".join(lines) + "\n")
+    metrics_path = run_dir / "fleet_metrics.json"
+    metrics_path.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    paths = [snapshots_path, metrics_path]
+    report = None
+    if spec is not None:
+        report = evaluate_snapshots(spec, prefix_merges)
+        report_path = run_dir / "slo_report.json"
+        report_path.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n")
+        paths.append(report_path)
+    return {"tasks": tasks, "paths": paths, "snapshot": merged,
+            "report": report}

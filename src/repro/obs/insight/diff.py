@@ -15,7 +15,14 @@ What is compared (by matching file name in both directories):
   never fatal);
 * ``<name>.txt`` tables — behavioural output, must match exactly;
 * ``<name>.trace.jsonl`` — advisory only: event-count drift is noted
-  but traces are timing-shaped, so they never fail the diff.
+  but traces are timing-shaped, so they never fail the diff;
+* ``fleet_metrics.json`` — the merged fleet snapshot, same numeric
+  comparison as per-task metrics;
+* ``slo_report.json`` — a *newly violated* objective regresses;
+  recovered objectives and alert-count drift are notes;
+* ``fleet_snapshots.jsonl`` — advisory: stream line-count drift only
+  (the live stream is timing-shaped under ``--jobs``; the canonical
+  rewrite makes counts comparable between finished runs).
 """
 
 from __future__ import annotations
@@ -123,6 +130,46 @@ def _diff_bench(path_a: pathlib.Path, path_b: pathlib.Path,
                 f"{path_a.name}: {name} improved to {ratio:.2f}x")
 
 
+def _diff_slo(path_a: pathlib.Path, path_b: pathlib.Path,
+              result: DiffResult) -> None:
+    """A newly violated objective (compliant in A, violated in B) is a
+    regression; recoveries and alert-count changes are notes."""
+    try:
+        report_a = json.loads(path_a.read_text())
+        report_b = json.loads(path_b.read_text())
+    except json.JSONDecodeError as exc:
+        result.regressions.append(f"{path_a.name}: unreadable ({exc})")
+        return
+    def by_name(report):
+        return {o["name"]: o for o in report.get("objectives", [])
+                if isinstance(o, dict) and "name" in o}
+    objectives_a = by_name(report_a)
+    objectives_b = by_name(report_b)
+    for name in sorted(set(objectives_a) | set(objectives_b)):
+        if name not in objectives_b:
+            result.notes.append(
+                f"{path_a.name}: objective {name} only in run A")
+            continue
+        if name not in objectives_a:
+            result.notes.append(
+                f"{path_a.name}: objective {name} only in run B")
+            continue
+        ok_a = bool(objectives_a[name].get("compliant"))
+        ok_b = bool(objectives_b[name].get("compliant"))
+        if ok_a and not ok_b:
+            result.regressions.append(
+                f"{path_a.name}: objective {name} newly violated "
+                f"(compliant in A, violated in B)")
+        elif not ok_a and ok_b:
+            result.notes.append(
+                f"{path_a.name}: objective {name} recovered")
+    alerts_a = len(report_a.get("alerts", []))
+    alerts_b = len(report_b.get("alerts", []))
+    if alerts_a != alerts_b:
+        result.notes.append(
+            f"{path_a.name}: burn-rate alerts {alerts_a} -> {alerts_b}")
+
+
 def _trace_event_count(path: pathlib.Path) -> int:
     return sum(1 for line in path.read_text().splitlines() if line.strip())
 
@@ -144,9 +191,20 @@ def diff_runs(run_a, run_b, tolerance: float = 0.2,
     compared = 0
     for name in sorted(names_a & names_b):
         path_a, path_b = run_a / name, run_b / name
-        if name.endswith(".metrics.json"):
+        if name.endswith(".metrics.json") or name == "fleet_metrics.json":
             compared += 1
             _diff_metrics(path_a, path_b, tolerance, result)
+        elif name == "slo_report.json":
+            compared += 1
+            _diff_slo(path_a, path_b, result)
+        elif name == "fleet_snapshots.jsonl":
+            compared += 1
+            count_a = _trace_event_count(path_a)
+            count_b = _trace_event_count(path_b)
+            if count_a != count_b:
+                result.notes.append(
+                    f"{name}: fleet snapshot lines {count_a} -> "
+                    f"{count_b} (advisory)")
         elif name.startswith("BENCH") and name.endswith(".json"):
             compared += 1
             _diff_bench(path_a, path_b, bench_tolerance, result)

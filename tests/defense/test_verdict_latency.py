@@ -1,0 +1,135 @@
+"""The per-stream verdict-latency SLO tracker (ROADMAP item 5).
+
+Wall time never enters the service (RAG001): the tracker runs on an
+*injected* clock, so these tests drive it with a deterministic fake and
+check the percentile arithmetic agrees with
+``benchmarks/bench_defense_throughput.py`` to the last digit.
+"""
+
+import statistics
+
+import pytest
+
+from repro.defense import VerdictLatencyTracker
+from repro.defense.service import DetectorBankService
+
+LEVEL_SHIFT = [100.0] * 16 + [300.0] * 16
+FLAT = [500.0] * 64
+
+
+def _fake_clock(step_s: float = 1e-6):
+    """A monotonic clock advancing ``step_s`` per call — every timed
+    verdict reads it twice, so each latency is exactly ``step_s``."""
+    state = {"now": 0.0}
+
+    def clock() -> float:
+        state["now"] += step_s
+        return state["now"]
+
+    return clock
+
+
+def _service_with(series_by_stream):
+    service = DetectorBankService()
+    service.admit_many(sorted(series_by_stream))
+    length = max(len(v) for v in series_by_stream.values())
+    for i in range(length):
+        ids = [s for s, values in sorted(series_by_stream.items())
+               if i < len(values)]
+        service.ingest(ids, 1000.0 * (i + 1),
+                       [series_by_stream[s][i] for s in ids])
+    return service
+
+
+class TestTracker:
+    def test_bench_percentile_agreement(self):
+        # awkward sample count + spread: median interpolates, p99 ranks
+        tracker = VerdictLatencyTracker()
+        samples = [5e-6, 1e-6, 9e-6, 3e-6, 2e-6, 8e-6, 4e-6]
+        for sample in samples:
+            tracker.observe(sample)
+        assert tracker.count == len(samples)
+        assert tracker.samples == samples      # raw, arrival order
+        ordered = sorted(samples)
+        n = len(ordered)
+        bench_p50 = round(statistics.median(samples) * 1e6, 2)
+        bench_p99 = round(ordered[min(n - 1, int(n * 0.99))] * 1e6, 2)
+        summary = tracker.summary()
+        assert summary == {"count": n, "p50_us": bench_p50,
+                           "p99_us": bench_p99}
+
+    def test_empty_summary_and_quantile_validation(self):
+        tracker = VerdictLatencyTracker()
+        assert tracker.summary() == {"count": 0, "p50_us": None,
+                                     "p99_us": None}
+        with pytest.raises(ValueError, match="no verdict latencies"):
+            tracker.quantile(0.5)
+        tracker.observe(1e-6)
+        with pytest.raises(ValueError, match="quantile must be in"):
+            tracker.quantile(1.5)
+        assert tracker.quantile(0.0) == 1e-6
+        assert tracker.quantile(1.0) == 1e-6
+
+
+class TestServiceIntegration:
+    def test_armed_verdicts_are_timed_with_injected_clock(self):
+        service = _service_with({"s0": FLAT, "s1": LEVEL_SHIFT})
+        tracker = service.enable_verdict_latency(_fake_clock(2e-6))
+        for _ in range(3):
+            service.verdict("s0")
+            service.verdict("s1")
+        assert tracker.count == 6
+        assert tracker.samples == pytest.approx([2e-6] * 6)
+        assert tracker.summary()["p50_us"] == 2.0
+
+    def test_rearming_replaces_the_tracker(self):
+        service = _service_with({"s0": FLAT})
+        first = service.enable_verdict_latency(_fake_clock())
+        service.verdict("s0")
+        second = service.enable_verdict_latency(_fake_clock())
+        service.verdict("s0")
+        assert first.count == 1
+        assert second.count == 1
+        assert service.verdict_latency is second
+
+    def test_unarmed_service_never_tracks(self):
+        service = _service_with({"s0": FLAT})
+        service.verdict("s0")
+        assert service.verdict_latency is None
+
+    def test_detection_latencies_skip_tracker_and_quiet_streams(self):
+        service = _service_with({"calm": FLAT, "shift": LEVEL_SHIFT})
+        tracker = service.enable_verdict_latency(_fake_clock())
+        latencies = service.detection_latencies()
+        assert set(latencies) == {"shift"}
+        assert latencies["shift"] > 0
+        assert tracker.count == 0   # bulk readouts bypass the tracker
+
+
+class TestDetectionLatencySlo:
+    def test_no_flagged_streams_is_trivially_compliant(self):
+        service = _service_with({"calm": FLAT})
+        slo = service.detection_latency_slo(budget_ns=1.0)
+        assert slo["compliant"] is True
+        assert slo["flagged"] == 0
+        assert slo["value_ns"] == 0.0
+        assert slo["violating_streams"] == []
+
+    def test_budget_verdicts(self):
+        service = _service_with({"shift": LEVEL_SHIFT})
+        latency = service.detection_latencies()["shift"]
+        within = service.detection_latency_slo(budget_ns=latency)
+        assert within["compliant"] is True
+        assert within["value_ns"] == latency
+        assert within["violations"] == 0
+        blown = service.detection_latency_slo(budget_ns=latency / 2)
+        assert blown["compliant"] is False
+        assert blown["violations"] == 1
+        assert blown["violating_streams"] == ["shift"]
+
+    def test_validation(self):
+        service = _service_with({"calm": FLAT})
+        with pytest.raises(ValueError, match="budget_ns must be positive"):
+            service.detection_latency_slo(budget_ns=0.0)
+        with pytest.raises(ValueError, match="percentile must be in"):
+            service.detection_latency_slo(budget_ns=1.0, percentile=0.0)

@@ -1,0 +1,74 @@
+"""Serial vs ``--jobs N`` equivalence of the fleet telemetry plane.
+
+The live stream is timing-shaped, but the *canonical* fleet artifacts
+(``fleet_metrics.json``, the rewritten ``fleet_snapshots.jsonl``,
+``slo_report.json``) are rebuilt post-batch from the committed per-task
+metrics in sorted task order — so a serial run, a ``--jobs`` run, and a
+rerun of either must agree byte-for-byte.  The faults experiment's
+injected retransmits/RNR-NAKs are the demonstrably-firing burn-rate
+alert the SLO acceptance demands.
+"""
+
+import json
+import pathlib
+
+from repro.experiments.__main__ import main
+from repro.obs.__main__ import main as obs_main
+
+SPEC = str(pathlib.Path(__file__).resolve().parents[2]
+           / "examples" / "slo_spec.json")
+EXPERIMENTS = ["table5", "faults", "--smoke"]
+FLEET_ARTIFACTS = ("fleet_metrics.json", "fleet_snapshots.jsonl",
+                   "slo_report.json")
+
+
+def _fleet_bytes(path) -> dict:
+    return {name: (pathlib.Path(path) / name).read_bytes()
+            for name in FLEET_ARTIFACTS}
+
+
+class TestFleetParallel:
+    def test_serial_jobs_and_rerun_byte_identical(self, tmp_path, capsys):
+        ser = tmp_path / "serial"
+        par = tmp_path / "parallel"
+        rerun = tmp_path / "rerun"
+        for out, jobs in ((ser, []), (par, ["--jobs", "2"]),
+                          (rerun, ["--jobs", "2"])):
+            assert main([*EXPERIMENTS, *jobs, "--slo", SPEC,
+                         "--out", str(out)]) == 0
+            capsys.readouterr()
+        serial_bytes = _fleet_bytes(ser)
+        assert serial_bytes == _fleet_bytes(par)
+        assert serial_bytes == _fleet_bytes(rerun)
+
+        report = json.loads(serial_bytes["slo_report.json"])
+        assert report["spec"] == "ragnar-fleet"
+        # the injected faults burn the wire-error budget: alerts fire
+        assert report["alerts"], "expected burn-rate alerts on faults"
+        assert report["compliant"] is False
+        fired = {alert["objective"] for alert in report["alerts"]}
+        assert "wire-errors" in fired
+
+    def test_fleet_metrics_without_slo(self, tmp_path, capsys):
+        assert main(["table5", "--smoke", "--fleet-metrics",
+                     "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        merged = json.loads((tmp_path / "fleet_metrics.json").read_text())
+        per_task = json.loads(
+            (tmp_path / "table5.metrics.json").read_text())
+        # one task: the merge is that task's snapshot verbatim
+        assert merged == per_task
+        assert (tmp_path / "fleet_snapshots.jsonl").exists()
+        assert not (tmp_path / "slo_report.json").exists()
+
+    def test_obs_slo_reevaluation_matches_run_report(self, tmp_path,
+                                                     capsys):
+        run = tmp_path / "run"
+        assert main([*EXPERIMENTS, "--slo", SPEC, "--out", str(run)]) == 0
+        capsys.readouterr()
+        out = tmp_path / "reevaluated.json"
+        # exit 1: the faults run violates the spec — that IS the signal
+        assert obs_main(["slo", str(run), "--spec", SPEC,
+                         "--out", str(out)]) == 1
+        capsys.readouterr()
+        assert out.read_bytes() == (run / "slo_report.json").read_bytes()

@@ -1,0 +1,98 @@
+"""The dedicated telemetry pipe under the supervised runtime.
+
+Live telemetry is timing-shaped (how many deltas ship depends on
+scheduling), so these tests assert the *protocol invariants* — record
+kinds, per-task seq monotonicity, delta-chain == final snapshot — and
+leave byte-determinism to the canonical artifacts
+(tests/experiments/test_fleet_parallel.py).
+"""
+
+from __future__ import annotations
+
+import collections
+
+from repro.obs.fleet import FleetAggregator, apply_delta
+from repro.runtime import Supervisor, SupervisorConfig, TaskSpec
+
+from tests.runtime.chaos_tasks import metered_task, ok_task
+
+#: Ship fast relative to the ~0.1 s metered task so deltas actually
+#: flow mid-flight (the production default of 0.5 s would only ever
+#: see the final flush).
+CONFIG = SupervisorConfig(max_workers=2, heartbeat_interval=0.05,
+                          telemetry_interval=0.01)
+
+
+def _run_metered(names, sink):
+    supervisor = Supervisor(CONFIG)
+    specs = [TaskSpec(name=name, fn=metered_task, kwargs={"ticks": 4})
+             for name in names]
+    results = supervisor.run(specs, telemetry=sink)
+    assert all(result.ok for result in results.values())
+    return supervisor
+
+
+class TestTelemetryPipe:
+    def test_delta_chain_reconstructs_final_snapshot(self):
+        records = collections.defaultdict(list)
+        _run_metered(["alpha", "beta"],
+                     lambda task, record: records[task].append(record))
+        for task in ("alpha", "beta"):
+            metric_records = [r for r in records[task]
+                              if r.get("kind") in ("delta", "final")]
+            assert metric_records, f"no telemetry shipped for {task}"
+            assert metric_records[-1]["kind"] == "final"
+            seqs = [r["seq"] for r in metric_records]
+            assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+            state: dict = {}
+            for record in metric_records:
+                state = apply_delta(state, record["delta"])
+            # the final record carries the cumulative snapshot; the
+            # applied delta chain must land on exactly the same state
+            assert state == metric_records[-1]["snapshot"]
+            ticks = state["chaos.metered"]["ticks"]["value"]
+            assert 1 <= ticks <= 4
+
+    def test_lifecycle_events_are_forwarded(self):
+        records = collections.defaultdict(list)
+        supervisor = _run_metered(
+            ["solo"], lambda task, record: records[task].append(record))
+        events = [r["event"]["event"] for r in records["solo"]
+                  if r.get("kind") == "event"]
+        assert "launch" in events and "ok" in events
+        # forwarding mirrors (not replaces) the supervisor's own log
+        assert len(events) == len(supervisor.events)
+
+    def test_telemetry_none_path_unchanged(self):
+        supervisor = Supervisor(CONFIG)
+        results = supervisor.run(
+            [TaskSpec(name="plain", fn=ok_task, args=("t",))])
+        assert results["plain"].ok
+        assert results["plain"].value == "done:t"
+
+    def test_sink_exposed_after_run_is_cleared(self):
+        supervisor = _run_metered(["one"], lambda task, record: None)
+        assert supervisor._telemetry_sink is None
+
+
+class TestAggregatorIntegration:
+    def test_live_aggregator_over_real_workers(self, tmp_path):
+        live = tmp_path / "fleet_snapshots.jsonl"
+        names = ["left", "right"]
+        aggregator = FleetAggregator(tasks=names, live_path=live,
+                                     progress_every=1)
+        supervisor = Supervisor(CONFIG)
+        specs = [TaskSpec(name=name, fn=metered_task,
+                          kwargs={"ticks": 3}) for name in names]
+        try:
+            results = supervisor.run(specs, telemetry=aggregator.sink)
+        finally:
+            aggregator.close()
+        assert all(result.ok for result in results.values())
+        assert aggregator.tasks_done() == 2
+        assert aggregator.revision >= 2
+        fleet = aggregator.fleet_snapshot()
+        assert fleet["chaos.metered"]["ticks"]["value"] >= 2
+        assert {e["event"] for e in aggregator.events} >= {"launch", "ok"}
+        assert live.exists()
+        assert len(live.read_text().splitlines()) == aggregator.revision

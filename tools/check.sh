@@ -48,16 +48,24 @@
 #                      (docs/DEFENSE.md): the scalar/batched verdict-
 #                      parity and edge-case suites, then a REPRO_QUICK
 #                      run of benchmarks/bench_defense_throughput.py
-#  12. bench gate    — BLOCKING: simulator throughput vs the committed
+#  12. slo smoke     — BLOCKING: the fleet telemetry plane end to end
+#                      (docs/OBSERVABILITY.md "Fleet telemetry &
+#                      SLOs"): a two-experiment --jobs 2 run with
+#                      --slo examples/slo_spec.json, fleet artifacts
+#                      schema-validated, the injected-fault burn-rate
+#                      alert asserted to fire, and the SLO section
+#                      rendered into the run report
+#  13. bench gate    — BLOCKING: simulator throughput vs the committed
 #                      baseline (docs/PERF.md); fails on a >20 %
 #                      event-dispatch regression (skips on engine
 #                      mismatch), a >2 % tracing-disabled
 #                      observability overhead, a >2 % supervised-
-#                      runtime overhead over the bare pool, or a >20 %
+#                      runtime overhead over the bare pool, a >2 %
+#                      fleet-telemetry streaming overhead, or a >20 %
 #                      defense-service fleet-ingest regression; each
 #                      run is archived to benchmarks/history/ for
 #                      report trend lines
-#  13. pytest tier-1 — BLOCKING: the full unit/integration suite
+#  14. pytest tier-1 — BLOCKING: the full unit/integration suite
 set -u
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -140,6 +148,22 @@ echo "== defense-service smoke (blocking) =="
 python -m pytest -q tests/defense/test_service_parity.py \
     tests/defense/test_detector_edges.py || fail=1
 REPRO_QUICK=1 python -m benchmarks.bench_defense_throughput || fail=1
+
+echo "== fleet-telemetry SLO smoke (blocking) =="
+slo_out="$(mktemp -d)"
+python -m repro.experiments table5 faults --smoke --jobs 2 \
+    --slo examples/slo_spec.json --out "$slo_out" || fail=1
+python -m repro.obs validate "$slo_out/fleet_snapshots.jsonl" \
+    "$slo_out/fleet_metrics.json" "$slo_out/slo_report.json" || fail=1
+python - "$slo_out" <<'PY' || fail=1
+import json, pathlib, sys
+report = json.loads((pathlib.Path(sys.argv[1]) / "slo_report.json").read_text())
+assert report["alerts"], "expected the injected-fault run to fire a burn-rate alert"
+print(f"slo smoke: {len(report['alerts'])} burn-rate alert(s) fired")
+PY
+python -m repro.obs report "$slo_out" --out "$slo_out/run.report.md" || fail=1
+grep -q '## SLO compliance' "$slo_out/run.report.md" \
+    || { echo "-- run report is missing the SLO compliance section"; fail=1; }
 
 echo "== simulator benchmark gate (blocking) =="
 python tools/bench_gate.py --run-id "$(date -u +%Y%m%dT%H%M%SZ)" || fail=1
